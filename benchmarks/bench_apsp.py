@@ -1,0 +1,88 @@
+"""Experiments C1.4 / §7 and C1.2(4): APSP approximation in near-linear MPC.
+
+Regenerates: with ``k = log2 n`` and ``t = log2 log2 n`` the spanner has
+near-linear size ``O(n log log n)`` (C1.2(4)), the pipeline runs in
+``O(t log log n / log(t+1))`` iterations plus an ``O(log log n)``-round
+collection, and the resulting APSP approximation stays within the
+``O(log^s n)`` stretch bound — while never *underestimating* a distance.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distances import SpannerDistanceOracle, measure_approximation
+from repro.graphs import apsp as exact_apsp
+from repro.mpc_impl import apsp_mpc
+from common import bench_graph, print_table
+
+NS = [128, 256, 512]
+
+
+def test_corollary_1_4_table(benchmark, capsys):
+    rows = []
+    for n in NS:
+        g = bench_graph(n, min(0.9, 24.0 / n))
+        res = apsp_mpc(g, rng=80)
+        d = exact_apsp(g)
+        iu = np.triu_indices(g.n, k=1)
+        base = d[iu]
+        mask = np.isfinite(base) & (base > 0)
+        ratios = res.all_pairs()[iu][mask] / base[mask]
+        size_bound = 8 * n * max(math.log2(max(math.log2(n), 2)), 1)
+        rows.append(
+            (
+                n,
+                res.k,
+                res.t,
+                res.rounds,
+                res.spanner.m,
+                f"{size_bound:.0f}",
+                f"{ratios.max():.2f}",
+                f"{ratios.mean():.3f}",
+                f"{res.guaranteed_stretch:.1f}",
+            )
+        )
+        assert ratios.max() <= res.guaranteed_stretch + 1e-9
+        assert np.all(ratios >= 1 - 1e-9)
+        assert res.spanner.m <= size_bound
+    with capsys.disabled():
+        print_table(
+            "Corollary 1.4: MPC APSP (k=log n, t=log log n)",
+            ["n", "k", "t", "rounds", "spanner m", "size bound", "max ratio", "mean ratio", "stretch bound"],
+            rows,
+        )
+    benchmark(lambda: apsp_mpc(bench_graph(256, 0.1), rng=80))
+
+
+def test_oracle_quality_vs_k(benchmark, capsys):
+    """Stretch/size dial: smaller k -> better approximation, bigger spanner."""
+    g = bench_graph(512, 0.06)
+    rows = []
+    prev_size = None
+    for k in (2, 4, 8):
+        o = SpannerDistanceOracle(g, k=k, t=2, rng=81)
+        rep = measure_approximation(o, num_pairs=400, rng=82)
+        rows.append(
+            (k, o.spanner.m, f"{rep.max_ratio:.2f}", f"{rep.mean_ratio:.3f}", f"{rep.stretch_bound:.1f}")
+        )
+        assert rep.within_bound
+        if prev_size is not None:
+            assert o.spanner.m <= prev_size * 1.2  # sizes shrink (noise slack)
+        prev_size = o.spanner.m
+    with capsys.disabled():
+        print_table(
+            f"Oracle quality vs k (n={g.n}, t=2)",
+            ["k", "spanner size", "max ratio", "mean ratio", "bound"],
+            rows,
+        )
+    benchmark(lambda: SpannerDistanceOracle(g, k=4, t=2, rng=81))
+
+
+@pytest.mark.parametrize("n", NS)
+def test_benchmark_apsp_pipeline(benchmark, n):
+    g = bench_graph(n, min(0.9, 24.0 / n))
+    benchmark(lambda: apsp_mpc(g, rng=83))

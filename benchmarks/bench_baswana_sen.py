@@ -1,0 +1,75 @@
+"""Baseline experiment: Baswana–Sen (2k-1)-spanners.
+
+Regenerates the classic baseline row the paper compares against: for each
+``k``, iterations ``k-1``, exact stretch guarantee ``2k-1``, and size
+``O(k n^{1+1/k})``, against measured values over multiple graph families.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import baswana_sen, bs_size_bound, bs_stretch_bound
+from repro.graphs import barabasi_albert, ring_of_cliques
+from common import bench_graph, measure, print_table
+
+KS = [2, 3, 4, 6, 8]
+
+
+@pytest.fixture(scope="module")
+def g():
+    return bench_graph(512, 0.06)
+
+
+def test_baseline_table(benchmark, g, capsys):
+    rows = []
+    for k in KS:
+        res = baswana_sen(g, k, rng=10 + k)
+        m = measure(g, res)
+        rows.append(
+            (
+                k,
+                k - 1,
+                m["iterations"],
+                f"{bs_stretch_bound(k):.0f}",
+                f"{m['stretch']:.2f}",
+                f"{bs_size_bound(g.n, k):.0f}",
+                m["size"],
+            )
+        )
+        assert m["stretch"] <= bs_stretch_bound(k)
+        assert m["size"] <= bs_size_bound(g.n, k)
+    with capsys.disabled():
+        print_table(
+            f"Baswana–Sen baseline (n={g.n}, m={g.m})",
+            ["k", "iter bound", "iter", "2k-1", "stretch", "size bound", "size"],
+            rows,
+        )
+    benchmark(lambda: baswana_sen(g, 4, rng=0))
+
+
+def test_families_table(benchmark, capsys):
+    k = 4
+    fams = {
+        "ER(512,.06)": bench_graph(512, 0.06),
+        "BA(512,3)": barabasi_albert(512, 3, weights="exponential", rng=20),
+        "cliques(32x16)": ring_of_cliques(32, 16, weights="uniform", rng=21),
+    }
+    rows = []
+    for name, gg in fams.items():
+        res = baswana_sen(gg, k, rng=22)
+        m = measure(gg, res)
+        rows.append((name, gg.m, m["size"], f"{m['stretch']:.2f}", f"{m['mean_stretch']:.3f}"))
+        assert m["stretch"] <= 2 * k - 1
+    with capsys.disabled():
+        print_table(
+            f"Baswana–Sen across families (k={k})",
+            ["family", "m", "spanner size", "max stretch", "mean stretch"],
+            rows,
+        )
+    benchmark(lambda: baswana_sen(fams["BA(512,3)"], k, rng=22))
+
+
+@pytest.mark.parametrize("k", KS)
+def test_benchmark_bs(benchmark, g, k):
+    benchmark(lambda: baswana_sen(g, k, rng=1))

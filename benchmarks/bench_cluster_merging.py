@@ -1,0 +1,85 @@
+"""Experiment §4 (Theorem 4.14) and C1.2(1): cluster-merging, the t=1 extreme.
+
+Regenerates: ``ceil(log2 k)`` epochs, stretch bound ``k^{log2 3}``, size
+``O(n^{1+1/k} log k)``; plus the Theorem 4.8 radius-recurrence trajectory
+``(3^i - 1)/2``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import cluster_merging, size_bound
+from common import bench_graph, measure, print_table
+
+KS = [2, 4, 8, 16]
+
+
+@pytest.fixture(scope="module")
+def g():
+    return bench_graph(512, 0.06)
+
+
+def test_theorem_4_14_table(benchmark, g, capsys):
+    rows = []
+    for k in KS:
+        res = cluster_merging(g, k, rng=30 + k)
+        m = measure(g, res)
+        epoch_bound = max(1, math.ceil(math.log2(k)))
+        st_bound = k ** math.log2(3)
+        sz_bound = size_bound(g.n, k, 1)
+        rows.append(
+            (
+                k,
+                epoch_bound,
+                m["iterations"],
+                f"{st_bound:.1f}",
+                f"{m['stretch']:.2f}",
+                f"{sz_bound:.0f}",
+                m["size"],
+            )
+        )
+        assert m["iterations"] <= epoch_bound
+        assert m["stretch"] <= st_bound + 1e-9
+        assert m["size"] <= sz_bound
+    with capsys.disabled():
+        print_table(
+            f"Theorem 4.14 cluster-merging (n={g.n}, m={g.m})",
+            ["k", "epoch bound", "epochs", "k^log3", "stretch", "size bound", "size"],
+            rows,
+        )
+    benchmark(lambda: cluster_merging(g, 8, rng=31))
+
+
+def test_radius_recurrence(benchmark, g, capsys):
+    """Theorem 4.8: weighted-stretch radius after epoch i is <= (3^i - 1)/2,
+    checked both by the tracked recurrence and by measuring the *actual*
+    cluster trees (``track_forest``)."""
+    from repro.core import forest_stats
+
+    res = cluster_merging(g, 16, rng=32, track_forest=True)
+    rows = []
+    for s in res.stats:
+        bound = (3.0**s.epoch - 1) / 2
+        rows.append((s.epoch, f"{bound:.1f}", f"{s.max_radius_bound:.1f}", s.num_clusters))
+        assert s.max_radius_bound <= bound + 1e-9
+    # Exact final-tree radii from the maintained forest.
+    stats = forest_stats(g, res.extra["final_labels"], res.extra["forest"])
+    measured = max((t.hop_radius for t in stats.values()), default=0)
+    final_bound = (3.0 ** res.iterations - 1) / 2
+    rows.append(("final (exact trees)", f"{final_bound:.1f}", measured, len(stats)))
+    assert measured <= final_bound
+    with capsys.disabled():
+        print_table(
+            "Theorem 4.8 radius recurrence (k=16)",
+            ["epoch", "(3^i-1)/2", "radius (tracked / measured)", "clusters"],
+            rows,
+        )
+    benchmark(lambda: cluster_merging(g, 16, rng=32))
+
+
+@pytest.mark.parametrize("k", KS)
+def test_benchmark_cm(benchmark, g, k):
+    benchmark(lambda: cluster_merging(g, k, rng=2))

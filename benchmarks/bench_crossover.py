@@ -1,0 +1,106 @@
+"""Crossover / ablation experiment: where the paper's algorithms beat
+Baswana–Sen and what the stretch penalty costs.
+
+Two tables:
+
+1. iteration crossover — for growing ``k``, iterations of BS (``k-1``) vs
+   cluster-merging (``ceil(log2 k)``) vs ``t = log k`` (``O(log^2 k /
+   log log k)``): the gap that motivates the whole paper;
+2. stretch penalty — measured stretch (same workload, same seeds) as a
+   function of ``t``, demonstrating the monotone stretch/round tradeoff of
+   Section 5 and its contraction-interval ablation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    baswana_sen,
+    cluster_merging,
+    general_tradeoff,
+    stretch_bound,
+)
+from common import bench_graph, measure, print_table
+
+
+@pytest.fixture(scope="module")
+def g():
+    return bench_graph(512, 0.06)
+
+
+def test_iteration_crossover(benchmark, g, capsys):
+    rows = []
+    for k in (4, 8, 16, 32):
+        bs = baswana_sen(g, k, rng=1)
+        cm = cluster_merging(g, k, rng=1)
+        tl = max(1, int(round(math.log2(k))))
+        gt = general_tradeoff(g, k, tl, rng=1)
+        rows.append((k, bs.iterations, cm.iterations, f"t={tl}: {gt.iterations}"))
+        assert cm.iterations <= math.ceil(math.log2(k))
+        if k >= 8:
+            assert cm.iterations < bs.iterations
+    with capsys.disabled():
+        print_table(
+            f"Iteration crossover (n={g.n})",
+            ["k", "Baswana–Sen (k-1)", "cluster-merging (log k)", "general (t=log k)"],
+            rows,
+        )
+    benchmark(lambda: cluster_merging(g, 16, rng=1))
+
+
+def test_stretch_penalty_vs_t(benchmark, g, capsys):
+    """Contraction-interval ablation: sweep t on one workload."""
+    k = 16
+    rows = []
+    measured = []
+    for t in (1, 2, 4, 8, 15):
+        res = general_tradeoff(g, k, t, rng=2)
+        m = measure(g, res)
+        measured.append(m)
+        rows.append(
+            (
+                t,
+                m["iterations"],
+                f"{stretch_bound(k, t):.1f}",
+                f"{m['stretch']:.2f}",
+                f"{m['mean_stretch']:.3f}",
+                m["size"],
+            )
+        )
+    with capsys.disabled():
+        print_table(
+            f"Stretch penalty vs t (n={g.n}, k={k})",
+            ["t", "iterations", "stretch bound", "max stretch", "mean stretch", "size"],
+            rows,
+        )
+    # Iterations grow from t=1 toward t=k-1 overall (ceil effects make the
+    # middle non-monotone: l = ceil(log k / log(t+1)) jumps discretely).
+    its = [m["iterations"] for m in measured]
+    assert its[0] == min(its)
+    assert its[0] < its[-1]
+    benchmark(lambda: general_tradeoff(g, k, 4, rng=2))
+
+
+def test_size_vs_quality_frontier(benchmark, g, capsys):
+    """Who wins: for a fixed iteration budget (~log k), the general
+    algorithm achieves far better stretch-per-edge than truncated BS-like
+    runs would — the frontier the intro motivates."""
+    k = 16
+    budget_algo = general_tradeoff(g, k, 1, rng=3)
+    full_bs = baswana_sen(g, k, rng=3)
+    mb = measure(g, budget_algo)
+    mf = measure(g, full_bs)
+    with capsys.disabled():
+        print_table(
+            f"Fixed budget frontier (k={k})",
+            ["algorithm", "iterations", "stretch", "size"],
+            [
+                ("general t=1", mb["iterations"], f"{mb['stretch']:.2f}", mb["size"]),
+                ("Baswana–Sen", mf["iterations"], f"{mf['stretch']:.2f}", mf["size"]),
+            ],
+        )
+    assert mb["iterations"] < mf["iterations"]
+    benchmark(lambda: general_tradeoff(g, k, 1, rng=3))

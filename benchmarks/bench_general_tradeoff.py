@@ -1,0 +1,83 @@
+"""Experiment T1.1 / T5.15 / C1.2: the general round-stretch tradeoff.
+
+Regenerates the paper's headline table (Theorem 1.1 instantiated as the
+Corollary 1.2 rows): for each ``t`` the iteration count
+``t·log k/log(t+1)``, the stretch bound ``2 k^s`` with
+``s = log(2t+1)/log(t+1)``, and the size bound ``O(n^{1+1/k}(t+log k))``,
+against the measured iteration count, exact worst-case stretch, and size.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import general_tradeoff, size_bound, stretch_bound, total_iterations
+from common import bench_graph, measure, print_table
+
+K = 8
+TS = [1, 2, 3, 7]
+
+
+@pytest.fixture(scope="module")
+def g():
+    return bench_graph(512, 0.06)
+
+
+def test_tradeoff_table(benchmark, g, capsys):
+    rows = []
+    for t in TS:
+        res = general_tradeoff(g, K, t, rng=1)
+        m = measure(g, res)
+        it_bound = total_iterations(K, min(t, K - 1))
+        st_bound = stretch_bound(K, t)
+        sz_bound = size_bound(g.n, K, t)
+        rows.append(
+            (
+                t,
+                f"{it_bound}",
+                m["iterations"],
+                f"{st_bound:.1f}",
+                f"{m['stretch']:.2f}",
+                f"{sz_bound:.0f}",
+                m["size"],
+            )
+        )
+        assert m["iterations"] <= it_bound
+        assert m["stretch"] <= st_bound + 1e-9
+        assert m["size"] <= sz_bound
+    with capsys.disabled():
+        print_table(
+            f"Theorem 1.1 tradeoff (n={g.n}, m={g.m}, k={K})",
+            ["t", "iter bound", "iter", "stretch bound", "stretch", "size bound", "size"],
+            rows,
+        )
+    benchmark(lambda: general_tradeoff(g, K, 2, rng=1))
+
+
+def test_corollary_1_2_rows(benchmark, g, capsys):
+    """The four named Corollary 1.2 settings for k=8."""
+    settings = [
+        ("C1.2(1) t=1", 1),
+        ("C1.2(2) t=2 (eps~0.58)", 2),
+        ("C1.2(3) t=log k", max(1, int(math.log2(K)))),
+        ("BS t=k-1", K - 1),
+    ]
+    rows = []
+    for name, t in settings:
+        res = general_tradeoff(g, K, t, rng=2)
+        m = measure(g, res)
+        rows.append((name, t, m["iterations"], f"{m['stretch']:.2f}", m["size"]))
+    with capsys.disabled():
+        print_table(
+            f"Corollary 1.2 named settings (k={K})",
+            ["setting", "t", "iterations", "stretch", "size"],
+            rows,
+        )
+    benchmark(lambda: general_tradeoff(g, K, max(1, int(math.log2(K))), rng=2))
+
+
+@pytest.mark.parametrize("t", TS)
+def test_benchmark_general_tradeoff(benchmark, g, t):
+    benchmark(lambda: general_tradeoff(g, K, t, rng=3))

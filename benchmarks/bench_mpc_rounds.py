@@ -1,0 +1,101 @@
+"""Experiment §6 (Lemma 6.1 / Theorem 1.1 rounds): MPC round accounting.
+
+Regenerates the round-complexity claim ``O((1/γ) · t log k / log(t+1))``:
+measured simulated rounds vs the bound as γ and t vary, per-machine peak
+loads vs the enforced ``O(n^γ)`` cap, and the per-primitive O(1/γ) costs of
+Lemma 6.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpc import MPCConfig, MPCSimulator, DistributedTable, sort_table
+from repro.mpc_impl import spanner_mpc
+from repro.core import mpc_rounds_bound
+from common import bench_graph, print_table
+
+GAMMAS = [0.3, 0.5, 0.7]
+
+
+@pytest.fixture(scope="module")
+def g():
+    return bench_graph(400, 0.06)
+
+
+def test_rounds_vs_gamma(benchmark, g, capsys):
+    k, t = 8, 3
+    rows = []
+    for gamma in GAMMAS:
+        res = spanner_mpc(g, k, t, gamma=gamma, rng=70)
+        mpc = res.extra["mpc"]
+        # ~12 primitive calls per iteration, each (tree_levels + 1) rounds;
+        # constant=24 covers the +1 placement round at large gamma.
+        bound = mpc_rounds_bound(k, t, gamma, constant=24.0)
+        rows.append(
+            (
+                gamma,
+                res.iterations,
+                res.extra["rounds"],
+                f"{bound:.0f}",
+                mpc["num_machines"],
+                mpc["machine_memory"],
+                mpc["peak_machine_load"],
+            )
+        )
+        assert res.extra["rounds"] <= bound
+        assert mpc["peak_machine_load"] <= mpc["machine_memory"]
+    with capsys.disabled():
+        print_table(
+            f"Theorem 1.1 rounds vs gamma (n={g.n}, k={k}, t={t})",
+            ["gamma", "iterations", "rounds", "bound", "machines", "S words", "peak load"],
+            rows,
+        )
+    benchmark(lambda: spanner_mpc(g, k, t, gamma=0.5, rng=70))
+
+
+def test_rounds_vs_t(benchmark, g, capsys):
+    k, gamma = 8, 0.5
+    rows = []
+    for t in (1, 2, 3, 7):
+        res = spanner_mpc(g, k, t, gamma=gamma, rng=71)
+        rows.append((t, res.iterations, res.extra["rounds"]))
+    with capsys.disabled():
+        print_table(
+            f"Rounds vs t (k={k}, gamma={gamma})",
+            ["t", "iterations", "simulated rounds"],
+            rows,
+        )
+    # rounds per iteration roughly constant -> rounds track iterations
+    benchmark(lambda: spanner_mpc(g, k, 2, gamma=gamma, rng=71))
+
+
+def test_lemma_6_1_primitive_costs(benchmark, capsys):
+    """One sort charges O(1/gamma) rounds regardless of data size."""
+    rows = []
+    for gamma in GAMMAS:
+        cfg = MPCConfig(n=4096, gamma=gamma, total_words=3 * 10**4)
+        sim = MPCSimulator(cfg)
+        t = DistributedTable(
+            sim, {"k": np.random.default_rng(0).integers(0, 100, 10**4)}, words_per_record=2
+        )
+        sort_table(t, ["k"])
+        rows.append((gamma, cfg.tree_levels(), sim.rounds, cfg.num_machines))
+        assert sim.rounds == cfg.rounds_for("sort")
+    with capsys.disabled():
+        print_table(
+            "Lemma 6.1: rounds per sort primitive",
+            ["gamma", "tree levels", "rounds/sort", "machines"],
+            rows,
+        )
+
+    def run():
+        cfg = MPCConfig(n=4096, gamma=0.5, total_words=3 * 10**4)
+        sim = MPCSimulator(cfg)
+        t = DistributedTable(
+            sim, {"k": np.random.default_rng(0).integers(0, 100, 10**4)}, words_per_record=2
+        )
+        sort_table(t, ["k"])
+
+    benchmark(run)

@@ -1,0 +1,49 @@
+"""Experiment §6 (PRAM): depth ``O(iterations · log* n)``.
+
+Regenerates the PRAM claim: measured depth equals the iteration count times
+the ``log* n`` primitive factor, with near-linear work per iteration — and
+therefore depth ``o(k)`` for ``t < k``, which no prior PRAM spanner
+algorithm achieved (the paper vs [MPVX15]/[BS07] at O(k log* n)).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pram import log_star, spanner_pram
+from common import bench_graph, print_table
+
+
+@pytest.fixture(scope="module")
+def g():
+    return bench_graph(512, 0.06)
+
+
+def test_pram_depth_table(benchmark, g, capsys):
+    k = 16
+    ls = log_star(g.n)
+    rows = []
+    for t, name in [(1, "general t=1"), (4, "general t=log k"), (15, "Baswana–Sen")]:
+        res = spanner_pram(g, k, t, rng=1)
+        pram = res.extra["pram"]
+        rows.append(
+            (
+                name,
+                res.iterations,
+                pram["depth"],
+                f"{res.iterations} * (3*{ls}+2) + 2*{ls}",
+                pram["work"],
+            )
+        )
+        assert pram["depth"] == res.iterations * (3 * ls + 2) + 2 * ls
+    with capsys.disabled():
+        print_table(
+            f"Section 6 PRAM depth (n={g.n}, k={k}, log* n={ls})",
+            ["algorithm", "iterations", "depth", "formula", "work"],
+            rows,
+        )
+    # o(k) depth for t=1 vs the [BS07]/[MPVX15] Θ(k log* n) baseline
+    fast = spanner_pram(g, k, 1, rng=1).extra["pram"]["depth"]
+    base = spanner_pram(g, k, 15, rng=1).extra["pram"]["depth"]
+    assert fast < base
+    benchmark(lambda: spanner_pram(g, k, 4, rng=1))

@@ -1,0 +1,87 @@
+"""Scaling-shape experiment: does measured size really grow like
+``n^{1+1/k}``?
+
+The size theorems are asymptotic; this bench fits the growth exponent of
+the measured spanner size over a geometric ``n`` sweep (log-log least
+squares) and compares it against the predicted ``1 + 1/k`` — the clearest
+"shape" check in the whole harness.  Also sweeps ``k`` at fixed ``n`` to
+confirm sizes decrease in ``k``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import baswana_sen, general_tradeoff
+from repro.graphs import erdos_renyi
+from common import print_table
+
+NS = [128, 256, 512, 1024]
+
+
+def _avg_size(builder, n: int, seeds=(0, 1, 2)) -> float:
+    # Fixed average degree so n is the only variable.
+    sizes = []
+    for s in seeds:
+        g = erdos_renyi(n, min(0.9, 24.0 / n), weights="uniform", rng=100 + s)
+        sizes.append(builder(g, s).num_edges)
+    return float(np.mean(sizes))
+
+
+def _fit_exponent(ns, sizes) -> float:
+    x = np.log(np.asarray(ns, dtype=float))
+    y = np.log(np.asarray(sizes, dtype=float))
+    slope, _ = np.polyfit(x, y, 1)
+    return float(slope)
+
+
+@pytest.mark.parametrize(
+    "name,k,builder",
+    [
+        ("baswana-sen k=4", 4, lambda g, s: baswana_sen(g, 4, rng=s)),
+        ("general k=4 t=2", 4, lambda g, s: general_tradeoff(g, 4, 2, rng=s)),
+        ("general k=8 t=3", 8, lambda g, s: general_tradeoff(g, 8, 3, rng=s)),
+    ],
+)
+def test_size_growth_exponent(benchmark, name, k, builder, capsys):
+    from repro.core import bs_size_bound, size_bound
+
+    sizes = [_avg_size(builder, n) for n in NS]
+    measured = _fit_exponent(NS, sizes)
+    predicted = 1.0 + 1.0 / k
+    rows = []
+    for n, s in zip(NS, sizes):
+        bound = (
+            bs_size_bound(n, k) if name.startswith("baswana") else size_bound(n, k, 3)
+        )
+        rows.append((n, f"{s:.0f}", f"{bound:.0f}"))
+        # The actual theorem: expected size under the closed-form bound.
+        assert s <= bound
+    rows.append(
+        ("fitted exponent", f"{measured:.3f}", f"asymptotic {predicted:.3f}")
+    )
+    with capsys.disabled():
+        print_table(f"Size growth: {name}", ["n", "mean size", "bound"], rows)
+    # Finite-size shape check: growth must be clearly subquadratic — the
+    # asymptotic exponent is 1+1/k but the sampling probabilities depend on
+    # n themselves, so a 4-point fit mixes transient terms.
+    assert measured <= 1.5
+    benchmark(lambda: builder(erdos_renyi(256, 24.0 / 256, weights="uniform", rng=1), 0))
+
+
+def test_size_decreases_in_k(benchmark, capsys):
+    g = erdos_renyi(512, 0.06, weights="uniform", rng=5)
+    rows = []
+    prev = None
+    for k in (2, 3, 4, 6, 8, 12):
+        res = general_tradeoff(g, k, 2, rng=6)
+        rows.append((k, res.num_edges))
+        if prev is not None:
+            assert res.num_edges <= prev * 1.15  # monotone up to noise
+        prev = res.num_edges
+    with capsys.disabled():
+        print_table("Size vs k (n=512, t=2)", ["k", "size"], rows)
+    benchmark(lambda: general_tradeoff(g, 4, 2, rng=6))

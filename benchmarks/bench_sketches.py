@@ -1,0 +1,96 @@
+"""Extension experiment ([DN19] application): spanner-accelerated distance
+sketches.
+
+The paper motivates spanners via [DN19]: preprocessing Thorup–Zwick
+sketches on a spanner instead of the input graph cuts the edges touched by
+preprocessing (the MPC memory/communication driver) at the price of
+multiplying the query stretch.  Two tables: TZ guarantees on their own, and
+the preprocessing-cost/stretch dial as the spanner gets sparser.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import general_tradeoff, stretch_bound
+from repro.distances import DistanceSketch, sketch_on_spanner
+from repro.graphs import apsp
+from common import bench_graph, print_table
+
+
+@pytest.fixture(scope="module")
+def g():
+    return bench_graph(400, 0.08)
+
+
+@pytest.fixture(scope="module")
+def exact(g):
+    return apsp(g)
+
+
+def _max_ratio(sk, g, exact, num=500, seed=0):
+    rng = np.random.default_rng(seed)
+    pairs = rng.integers(0, g.n, size=(num, 2))
+    q = sk.query_many(pairs)
+    e = exact[pairs[:, 0], pairs[:, 1]]
+    mask = np.isfinite(e) & (e > 0)
+    r = q[mask] / e[mask]
+    return float(r.max()), float(r.mean())
+
+
+def test_thorup_zwick_table(benchmark, g, exact, capsys):
+    rows = []
+    for k in (1, 2, 3, 4):
+        sk = DistanceSketch(g, k, rng=k)
+        mx, mean = _max_ratio(sk, g, exact)
+        rows.append(
+            (
+                k,
+                2 * k - 1,
+                f"{mx:.2f}",
+                f"{mean:.3f}",
+                sk.size_words,
+                f"{sk.expected_size_bound():.0f}",
+            )
+        )
+        assert mx <= 2 * k - 1 + 1e-9
+        assert sk.size_words <= sk.expected_size_bound()
+    with capsys.disabled():
+        print_table(
+            f"Thorup–Zwick sketches (n={g.n}, m={g.m})",
+            ["k", "2k-1", "max ratio", "mean ratio", "size (words)", "size bound"],
+            rows,
+        )
+    benchmark(lambda: DistanceSketch(g, 3, rng=1))
+
+
+def test_spanner_accelerated_table(benchmark, g, exact, capsys):
+    k_sketch = 2
+    rows = []
+    base = DistanceSketch(g, k_sketch, rng=5)
+    mx, mean = _max_ratio(base, g, exact)
+    rows.append(("(no spanner)", g.m, "1.00", f"{mx:.2f}", f"{mean:.3f}", "3.0"))
+    for k_sp in (3, 5, 8):
+        res = general_tradeoff(g, k_sp, 2, rng=6)
+        sk, acc = sketch_on_spanner(g, res, k_sketch, rng=7)
+        mx, mean = _max_ratio(sk, g, exact)
+        composed = (2 * k_sketch - 1) * stretch_bound(k_sp, 2)
+        rows.append(
+            (
+                f"spanner k={k_sp}",
+                acc["edges_in_spanner"],
+                f"{acc['preprocessing_edge_ratio']:.2f}",
+                f"{mx:.2f}",
+                f"{mean:.3f}",
+                f"{composed:.1f}",
+            )
+        )
+        assert mx <= composed + 1e-9
+    with capsys.disabled():
+        print_table(
+            "[DN19]-style spanner-accelerated sketch preprocessing (TZ k=2)",
+            ["preprocessing on", "edges touched", "edge ratio", "max ratio", "mean ratio", "bound"],
+            rows,
+        )
+    benchmark(lambda: sketch_on_spanner(g, general_tradeoff(g, 5, 2, rng=6), 2, rng=7))

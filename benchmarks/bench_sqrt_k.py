@@ -1,0 +1,57 @@
+"""Experiment §3 (Theorems 3.1/3.4): the two-phase sqrt(k) warm-up.
+
+Regenerates: ``O(sqrt(k))`` iterations, stretch ``O(k)``, size
+``O(sqrt(k) n^{1+1/k})`` — the near-optimal-stretch point of the tradeoff.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import two_phase_contraction
+from common import bench_graph, measure, print_table
+
+KS = [4, 9, 16, 25]
+
+
+@pytest.fixture(scope="module")
+def g():
+    return bench_graph(512, 0.06)
+
+
+def test_section3_table(benchmark, g, capsys):
+    rows = []
+    for k in KS:
+        res = two_phase_contraction(g, k, rng=40 + k)
+        m = measure(g, res)
+        it_bound = 2 * math.ceil(math.sqrt(k)) + 1
+        sz_bound = 4 * math.sqrt(k) * g.n ** (1 + 1.0 / k)
+        rows.append(
+            (
+                k,
+                it_bound,
+                m["iterations"],
+                f"{4 * k}",
+                f"{m['stretch']:.2f}",
+                f"{sz_bound:.0f}",
+                m["size"],
+                res.extra["super_nodes"],
+            )
+        )
+        assert m["iterations"] <= it_bound
+        assert m["stretch"] <= 4 * k
+        assert m["size"] <= sz_bound
+    with capsys.disabled():
+        print_table(
+            f"Section 3 two-phase contraction (n={g.n}, m={g.m})",
+            ["k", "iter bound", "iter", "O(k) bound", "stretch", "size bound", "size", "super-nodes"],
+            rows,
+        )
+    benchmark(lambda: two_phase_contraction(g, 9, rng=41))
+
+
+@pytest.mark.parametrize("k", KS)
+def test_benchmark_sqrt_k(benchmark, g, k):
+    benchmark(lambda: two_phase_contraction(g, k, rng=3))

@@ -1,0 +1,84 @@
+"""Experiment T1.3 / Appendix B: unweighted O(k)-spanner.
+
+Regenerates: stretch ``O(k)``, size ``O(k n^{1+1/k})`` (+ hitter paths),
+``O(log k)`` analytic rounds, total memory ``O(m + n^{1+γ})``; plus the
+sparse/dense split as a function of the ball cap ``Θ(n^{γ/2})``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import unweighted_spanner
+from repro.graphs import erdos_renyi, grid_graph
+from common import measure, print_table
+
+KS = [2, 3, 4]
+
+
+@pytest.fixture(scope="module")
+def g():
+    return erdos_renyi(400, 0.05, rng=60)
+
+
+def test_theorem_1_3_table(benchmark, g, capsys):
+    gamma = 0.5
+    rows = []
+    for k in KS:
+        res = unweighted_spanner(g, k, gamma=gamma, rng=61 + k)
+        m = measure(g, res)
+        st_budget = (8 * k + 2) * (4.0 / gamma + 1)
+        sz_bound = 4 * k * g.n ** (1 + 1.0 / k) + 4 * k * g.n
+        rows.append(
+            (
+                k,
+                f"{m['stretch']:.2f}",
+                f"{st_budget:.0f}",
+                m["size"],
+                f"{sz_bound:.0f}",
+                res.extra["analytic_rounds"],
+                res.extra["num_sparse"],
+                res.extra["num_dense"],
+            )
+        )
+        assert m["stretch"] <= st_budget
+        assert m["size"] <= sz_bound
+    with capsys.disabled():
+        print_table(
+            f"Theorem 1.3 unweighted spanner (n={g.n}, m={g.m}, gamma={gamma})",
+            ["k", "stretch", "O(k) budget", "size", "size bound", "rounds", "sparse", "dense"],
+            rows,
+        )
+    benchmark(lambda: unweighted_spanner(g, 3, rng=62))
+
+
+def test_memory_accounting(benchmark, g, capsys):
+    gamma = 0.5
+    res = unweighted_spanner(g, 3, gamma=gamma, rng=63)
+    words = res.extra["total_memory_words"]
+    bound = 4 * (g.m + g.n ** (1 + gamma))
+    with capsys.disabled():
+        print_table(
+            "Appendix B total memory O(m + n^{1+gamma})",
+            ["measured words", "bound"],
+            [(words, f"{bound:.0f}")],
+        )
+    assert words <= bound
+    benchmark(lambda: unweighted_spanner(g, 3, gamma=gamma, rng=63))
+
+
+def test_sparse_dense_split_vs_cap(benchmark, capsys):
+    g = grid_graph(20, 20)
+    rows = []
+    for cap in (4, 16, 64, 10**6):
+        res = unweighted_spanner(g, 3, rng=64, ball_cap=cap)
+        rows.append((cap, res.extra["num_sparse"], res.extra["num_dense"], res.num_edges))
+    with capsys.disabled():
+        print_table(
+            "Sparse/dense split vs ball cap (grid 20x20, k=3)",
+            ["ball cap", "sparse", "dense", "spanner size"],
+            rows,
+        )
+    benchmark(lambda: unweighted_spanner(g, 3, rng=64, ball_cap=64))

@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's theorem/corollary "tables": it
+prints a row per parameter setting with the paper-predicted bound next to
+the measured quantity, and registers a timing with pytest-benchmark.  The
+printed tables are the artifacts EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.graphs import WeightedGraph, edge_stretch, erdos_renyi
+
+__all__ = ["print_table", "measure", "bench_graph", "geomean"]
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render an aligned text table (the bench output artifact)."""
+    rows = [tuple(str(c) for c in r) for r in rows]
+    headers = [str(h) for h in headers]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+
+
+def measure(g: WeightedGraph, result) -> dict:
+    """Standard measurement record for a spanner result."""
+    h = result.subgraph(g)
+    rep = edge_stretch(g, h)
+    return {
+        "size": result.num_edges,
+        "stretch": rep.max_stretch,
+        "mean_stretch": rep.mean_stretch,
+        "iterations": result.iterations,
+    }
+
+
+def bench_graph(n: int = 512, p: float = 0.08, *, weights: str = "uniform", seed: int = 7) -> WeightedGraph:
+    """The default benchmark workload: a weighted G(n, p)."""
+    return erdos_renyi(n, p, weights=weights, rng=seed)
+
+
+def geomean(xs) -> float:
+    xs = np.asarray(list(xs), dtype=float)
+    return float(np.exp(np.log(xs).mean())) if xs.size else 0.0

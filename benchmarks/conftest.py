@@ -1,0 +1,6 @@
+"""Make the shared helpers importable and keep benchmark output readable."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

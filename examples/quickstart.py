@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: build a spanner, check its guarantees, approximate distances.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import general_tradeoff, stretch_bound
+from repro.distances import SpannerDistanceOracle, measure_approximation
+from repro.graphs import edge_stretch, erdos_renyi, verify_spanner
+
+
+def main() -> None:
+    # 1. A weighted random graph: 1000 vertices, ~25k edges.
+    g = erdos_renyi(1000, 0.05, weights="uniform", rng=42)
+    print(f"input graph: n={g.n}, m={g.m}")
+
+    # 2. Build a spanner with the paper's general tradeoff algorithm
+    #    (Theorem 1.1).  k controls the size target n^{1+1/k}; t trades
+    #    iterations for stretch.
+    k, t = 6, 2
+    result = general_tradeoff(g, k=k, t=t, rng=0)
+    spanner = result.subgraph(g)
+    print(
+        f"spanner: {spanner.m} edges ({100 * spanner.m / g.m:.1f}% of input), "
+        f"built in {result.iterations} logical iterations"
+    )
+
+    # 3. Verify the guarantee: stretch at most 2 k^s, s = log(2t+1)/log(t+1).
+    bound = stretch_bound(k, t)
+    report = verify_spanner(g, spanner, stretch_bound=bound)
+    print(
+        f"stretch: measured max {report.max_stretch:.2f} "
+        f"(mean {report.mean_stretch:.3f}) <= bound {bound:.1f}"
+    )
+
+    # 4. Use the spanner as an all-pairs distance oracle (Corollary 1.4).
+    oracle = SpannerDistanceOracle(g, k=k, t=t, rng=0)
+    quality = measure_approximation(oracle, num_pairs=500, rng=1)
+    print(
+        f"distance oracle: d(0, 999) ~= {oracle.query(0, 999):.2f}; "
+        f"approximation ratio max {quality.max_ratio:.2f} / "
+        f"mean {quality.mean_ratio:.3f} over {quality.num_pairs} pairs"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Scenario: approximate distances in a social-network-like graph.
+
+The paper's motivation: MapReduce-style clusters processing web/social
+graphs whose edge sets dwarf any single machine's memory.  We model the
+graph with preferential attachment (heavy-tailed degrees), sparsify it with
+each of the paper's constructions, and compare the sparsification /
+accuracy frontier they offer to the Baswana–Sen baseline.
+
+Run:  python examples/social_network_distances.py
+"""
+
+from repro.core import (
+    baswana_sen,
+    cluster_merging,
+    general_tradeoff,
+    two_phase_contraction,
+)
+from repro.graphs import barabasi_albert, edge_stretch
+
+
+def main() -> None:
+    g = barabasi_albert(2000, 8, weights="exponential", rng=7)
+    print(f"social graph: n={g.n}, m={g.m} (heavy-tailed degrees)")
+    k = 8
+
+    algorithms = [
+        ("Baswana–Sen (baseline)", lambda: baswana_sen(g, k, rng=1)),
+        ("cluster-merging  (t=1)", lambda: cluster_merging(g, k, rng=1)),
+        ("two-phase     (t=sqrtk)", lambda: two_phase_contraction(g, k, rng=1)),
+        ("general     (t=log k)", lambda: general_tradeoff(g, k, 3, rng=1)),
+    ]
+
+    print(f"\n{'algorithm':<24} {'iters':>5} {'edges':>7} {'kept':>6} {'max str':>8} {'mean str':>9}")
+    for name, fn in algorithms:
+        res = fn()
+        h = res.subgraph(g)
+        rep = edge_stretch(g, h)
+        print(
+            f"{name:<24} {res.iterations:>5} {h.m:>7} "
+            f"{100 * h.m / g.m:>5.1f}% {rep.max_stretch:>8.2f} {rep.mean_stretch:>9.3f}"
+        )
+
+    print(
+        "\nTakeaway: the accelerated constructions keep the spanner nearly as"
+        "\nsparse and nearly as accurate while using a fraction of the"
+        "\niterations — exactly the paper's round-complexity story."
+    )
+
+
+if __name__ == "__main__":
+    main()

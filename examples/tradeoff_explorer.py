@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Explore the paper's round/stretch/size tradeoff surface (Theorem 1.1).
+
+Sweeps the growth parameter t for a fixed k and prints the predicted
+frontier next to measured numbers — then prints the closed-form table for
+a k you could not measure directly (k = log n for APSP).
+
+Run:  python examples/tradeoff_explorer.py [k]
+"""
+
+import sys
+
+from repro.core import general_tradeoff, stretch_bound, total_iterations, tradeoff_table
+from repro.graphs import edge_stretch, erdos_renyi
+
+
+def main() -> None:
+    k = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    g = erdos_renyi(800, 0.05, weights="uniform", rng=9)
+    print(f"graph: n={g.n}, m={g.m};  k={k}\n")
+
+    header = (
+        f"{'t':>3} {'iters(pred)':>11} {'iters':>6} {'stretch bound':>13} "
+        f"{'stretch':>8} {'size':>7} {'kept %':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    ts = sorted({1, 2, 3, 4, max(1, k // 4), max(1, k // 2), k - 1})
+    for t in ts:
+        res = general_tradeoff(g, k, t, rng=2)
+        h = res.subgraph(g)
+        rep = edge_stretch(g, h)
+        print(
+            f"{t:>3} {total_iterations(k, min(t, k - 1)):>11} {res.iterations:>6} "
+            f"{stretch_bound(k, t):>13.1f} {rep.max_stretch:>8.2f} "
+            f"{h.m:>7} {100 * h.m / g.m:>6.1f}%"
+        )
+
+    print("\nclosed-form Corollary 1.2 rows (no measurement):")
+    for row in tradeoff_table(k):
+        print(
+            f"  t={row.t:<3} epochs={row.epochs:<3} iterations={row.iterations:<4} "
+            f"stretch O(k^{row.stretch_exponent:.3f}) = {row.stretch:8.1f}   "
+            f"size ~ n^(1+1/k) * {row.size_factor:.1f}   [{row.label}]"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setup shim: environments without the `wheel` package cannot do PEP 660
+editable installs with this old setuptools; `python setup.py develop` and
+`pip install -e .` both route through here."""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy", "networkx"],
+)

@@ -1,0 +1,24 @@
+"""repro: reproduction of "Massively Parallel Algorithms for Distance
+Approximation and Spanners" (Biswas, Dory, Ghaffari, Mitrovic, Nazari;
+SPAA 2021, arXiv:2003.01254).
+
+Public API overview
+-------------------
+``repro.graphs``
+    Weighted graph substrate: CSR graphs, generators, exact distances,
+    spanner validation.
+``repro.core``
+    The paper's spanner algorithms (Sections 3-5, Appendix B) plus the
+    Baswana-Sen baseline and closed-form parameter bounds.
+``repro.mpc`` / ``repro.mpc_impl``
+    A faithful MPC simulator (machines, memory limits, round accounting)
+    and Section 6's machine-level implementation of the general algorithm.
+``repro.congest`` / ``repro.cc_impl``
+    Congested Clique simulator (Lenzen routing) and Section 8's APSP.
+``repro.pram``
+    PRAM depth/work accounting for the Section 6 PRAM claim.
+``repro.distances``
+    Spanner-based distance oracles (Corollary 1.4).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,6 @@
+"""Congested Clique implementations (Section 8)."""
+
+from .apsp_cc import CCApspResult, apsp_cc
+from .spanner_cc import spanner_cc
+
+__all__ = ["spanner_cc", "apsp_cc", "CCApspResult"]

@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``spanner``
+    Build a spanner with any of the paper's algorithms and report
+    size/stretch/iterations.
+``apsp``
+    Run the Corollary 1.4 (MPC) or Corollary 1.5 (Congested Clique)
+    APSP pipeline and report rounds + approximation quality.
+``tradeoff``
+    Print the closed-form Theorem 1.1 tradeoff table for a given ``k``.
+``mpc``
+    Run the Section 6 machine-level implementation and report the
+    simulated cluster accounting.
+
+Graphs are generated on the fly from ``--graph`` specs like ``er:512:0.06``
+(Erdős–Rényi), ``ba:512:3`` (Barabási–Albert), ``grid:20:25``,
+``geo:512:0.1`` (random geometric), or ``cliques:16:8``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core import (
+    baswana_sen,
+    cluster_merging,
+    general_tradeoff,
+    stretch_bound,
+    tradeoff_table,
+    two_phase_contraction,
+    unweighted_spanner,
+)
+from .graphs import (
+    WeightedGraph,
+    barabasi_albert,
+    edge_stretch,
+    erdos_renyi,
+    grid_graph,
+    random_geometric,
+    ring_of_cliques,
+)
+
+__all__ = ["main", "build_graph"]
+
+ALGORITHMS = {
+    "baswana-sen": lambda g, k, t, rng: baswana_sen(g, k, rng=rng),
+    "cluster-merging": lambda g, k, t, rng: cluster_merging(g, k, rng=rng),
+    "two-phase": lambda g, k, t, rng: two_phase_contraction(g, k, rng=rng),
+    "general": lambda g, k, t, rng: general_tradeoff(g, k, t, rng=rng),
+    "unweighted": lambda g, k, t, rng: unweighted_spanner(g, k, rng=rng),
+    "streaming": None,  # resolved lazily to avoid import cost
+}
+
+
+def build_graph(spec: str, *, weights: str = "uniform", seed: int = 0) -> WeightedGraph:
+    """Parse a ``family:arg1:arg2`` graph spec."""
+    parts = spec.split(":")
+    fam = parts[0]
+    try:
+        if fam == "er":
+            return erdos_renyi(int(parts[1]), float(parts[2]), weights=weights, rng=seed)
+        if fam == "ba":
+            return barabasi_albert(int(parts[1]), int(parts[2]), weights=weights, rng=seed)
+        if fam == "grid":
+            return grid_graph(int(parts[1]), int(parts[2]), weights=weights, rng=seed)
+        if fam == "geo":
+            return random_geometric(int(parts[1]), float(parts[2]), weights=weights, rng=seed)
+        if fam == "cliques":
+            return ring_of_cliques(int(parts[1]), int(parts[2]), weights=weights, rng=seed)
+    except (IndexError, ValueError) as exc:
+        raise SystemExit(f"bad graph spec {spec!r}: {exc}") from exc
+    raise SystemExit(f"unknown graph family {fam!r} (er|ba|grid|geo|cliques)")
+
+
+def _cmd_spanner(args) -> int:
+    weights = "unit" if args.algorithm == "unweighted" else args.weights
+    g = build_graph(args.graph, weights=weights, seed=args.seed)
+    if args.algorithm == "streaming":
+        from .streaming import streaming_spanner
+
+        res = streaming_spanner(g, args.k, rng=args.seed)
+    else:
+        res = ALGORITHMS[args.algorithm](g, args.k, args.t, args.seed)
+    h = res.subgraph(g)
+    rep = edge_stretch(g, h)
+    print(f"graph: n={g.n} m={g.m}")
+    print(f"algorithm: {res.algorithm}  k={args.k}  t={res.t}")
+    print(f"spanner: {h.m} edges ({100 * h.m / max(g.m, 1):.1f}% kept)")
+    print(f"iterations: {res.iterations}")
+    print(f"stretch: max {rep.max_stretch:.3f}  mean {rep.mean_stretch:.4f}")
+    if args.algorithm == "general":
+        print(f"guarantee: {stretch_bound(args.k, args.t):.1f}")
+    if "stream" in res.extra:
+        print(f"stream passes: {res.extra['stream']['passes']}")
+    return 0
+
+
+def _cmd_apsp(args) -> int:
+    g = build_graph(args.graph, weights=args.weights, seed=args.seed)
+    if args.model == "mpc":
+        from .mpc_impl import apsp_mpc
+
+        res = apsp_mpc(g, rng=args.seed)
+    else:
+        from .cc_impl import apsp_cc
+
+        res = apsp_cc(g, rng=args.seed)
+    from .graphs import apsp as exact_apsp
+
+    d = exact_apsp(g)
+    a = res.all_pairs()
+    iu = np.triu_indices(g.n, k=1)
+    base = d[iu]
+    mask = np.isfinite(base) & (base > 0)
+    ratios = a[iu][mask] / base[mask]
+    print(f"graph: n={g.n} m={g.m}  model={args.model}")
+    print(f"parameters: k={res.k} t={res.t}")
+    print(f"rounds: {res.rounds} (collection {res.collection_rounds})")
+    print(f"spanner size: {res.spanner.m}")
+    if mask.any():
+        print(
+            f"approximation: max x{ratios.max():.3f} mean x{ratios.mean():.4f} "
+            f"(guarantee x{res.guaranteed_stretch:.1f})"
+        )
+    return 0
+
+
+def _cmd_tradeoff(args) -> int:
+    print(f"Theorem 1.1 tradeoff for k={args.k}:")
+    for row in tradeoff_table(args.k):
+        print(
+            f"  t={row.t:<4} epochs={row.epochs:<3} iterations={row.iterations:<5} "
+            f"stretch<=2k^{row.stretch_exponent:.3f}={row.stretch:9.1f}  "
+            f"size~n^(1+1/k)*{row.size_factor:.1f}  [{row.label}]"
+        )
+    return 0
+
+
+def _cmd_mpc(args) -> int:
+    from .mpc_impl import spanner_mpc
+
+    g = build_graph(args.graph, weights=args.weights, seed=args.seed)
+    res = spanner_mpc(g, args.k, args.t, gamma=args.gamma, rng=args.seed)
+    mpc = res.extra["mpc"]
+    print(f"graph: n={g.n} m={g.m}   gamma={args.gamma}")
+    print(f"machines: {mpc['num_machines']}  local memory: {mpc['machine_memory']} words")
+    print(f"peak machine load: {mpc['peak_machine_load']} words")
+    print(f"simulated rounds: {mpc['rounds']}  messages: {mpc['total_messages']}")
+    print(f"spanner: {res.num_edges} edges in {res.iterations} iterations")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Spanners and distance approximation (SPAA 2021 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp):
+        sp.add_argument("--graph", default="er:512:0.06", help="family:args spec")
+        sp.add_argument("--weights", default="uniform", help="weight model")
+        sp.add_argument("--seed", type=int, default=0)
+
+    sp = sub.add_parser("spanner", help="build one spanner")
+    common(sp)
+    sp.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="general")
+    sp.add_argument("-k", type=int, default=8)
+    sp.add_argument("-t", type=int, default=2)
+    sp.set_defaults(fn=_cmd_spanner)
+
+    sp = sub.add_parser("apsp", help="run an APSP pipeline")
+    common(sp)
+    sp.add_argument("--model", choices=["mpc", "cc"], default="mpc")
+    sp.set_defaults(fn=_cmd_apsp)
+
+    sp = sub.add_parser("tradeoff", help="print the closed-form tradeoff table")
+    sp.add_argument("-k", type=int, default=16)
+    sp.set_defaults(fn=_cmd_tradeoff)
+
+    sp = sub.add_parser("mpc", help="machine-level MPC run")
+    common(sp)
+    sp.add_argument("-k", type=int, default=8)
+    sp.add_argument("-t", type=int, default=3)
+    sp.add_argument("--gamma", type=float, default=0.5)
+    sp.set_defaults(fn=_cmd_mpc)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Congested Clique substrate: round accounting and Lenzen routing."""
+
+from .clique import CCLogEntry, CongestedClique
+from .routing import schedule_rounds, two_phase_schedule
+
+__all__ = ["CongestedClique", "CCLogEntry", "two_phase_schedule", "schedule_rounds"]

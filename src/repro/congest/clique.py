@@ -1,0 +1,122 @@
+"""Congested Clique simulator.
+
+Model (Section 8): ``n`` nodes, synchronous rounds, every ordered pair may
+exchange one ``O(log n)``-bit word per round — so per round a node sends at
+most ``n - 1`` words and receives at most ``n - 1`` words.
+
+The simulator is an *accountant*: algorithms describe their communication
+patterns (point-to-point batches, broadcasts, gathers) and the simulator
+charges rounds using Lenzen's routing theorem [Len13] — any message set in
+which every node sends at most ``n`` words and receives at most ``n`` words
+can be delivered in ``O(1)`` rounds; larger batches decompose into
+``ceil(load / n)`` such sub-batches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CongestedClique", "CCLogEntry"]
+
+#: Round cost of one Lenzen routing phase (the [Len13] constant: a
+#: deterministic 2-phase schedule).
+LENZEN_PHASE_ROUNDS = 2
+
+
+@dataclass
+class CCLogEntry:
+    """One charged communication step."""
+
+    name: str
+    rounds: int
+    words: int
+
+
+class CongestedClique:
+    """Round accountant for the Congested Clique.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes (one per graph vertex).
+    word_bits:
+        Bits per message word; only used to validate that payloads fit
+        ``O(log n)`` words (weights are assumed to fit one word, as the
+        model requires).
+    """
+
+    def __init__(self, n: int, *, word_bits: int | None = None) -> None:
+        if n < 1:
+            raise ValueError("n must be positive")
+        self.n = n
+        self.word_bits = word_bits or max(1, math.ceil(math.log2(max(n, 2))) + 1)
+        self.rounds = 0
+        self.total_words = 0
+        self.log: list[CCLogEntry] = []
+
+    # -- charging helpers -----------------------------------------------------
+    def _bandwidth(self) -> int:
+        return max(self.n - 1, 1)
+
+    def charge_route(
+        self,
+        *,
+        max_send: int,
+        max_recv: int,
+        total_words: int,
+        name: str = "route",
+    ) -> int:
+        """Charge a point-to-point batch via Lenzen routing.
+
+        ``max_send`` / ``max_recv`` are the worst per-node loads in words.
+        """
+        if min(max_send, max_recv, total_words) < 0:
+            raise ValueError("loads must be non-negative")
+        load = max(max_send, max_recv)
+        phases = max(1, math.ceil(load / self._bandwidth())) if load else 0
+        r = phases * LENZEN_PHASE_ROUNDS
+        self.rounds += r
+        self.total_words += total_words
+        self.log.append(CCLogEntry(name, r, total_words))
+        return r
+
+    def charge_broadcast_word(self, *, name: str = "broadcast") -> int:
+        """Every node sends one word to every other node (e.g. the per-run
+        sampling bit vector of Theorem 8.1): one round."""
+        self.rounds += 1
+        self.total_words += self.n * (self.n - 1)
+        self.log.append(CCLogEntry(name, 1, self.n * (self.n - 1)))
+        return 1
+
+    def charge_all_learn(self, words: int, *, name: str = "all-learn") -> int:
+        """Every node must end up holding ``words`` words (e.g. the whole
+        spanner).  Each node can receive ``n-1`` words per round, and with
+        Lenzen routing the words can be replicated through intermediate
+        nodes at full bandwidth, so the cost is ``O(ceil(words / n))``."""
+        if words < 0:
+            raise ValueError("words must be non-negative")
+        phases = max(1, math.ceil(words / self._bandwidth())) if words else 0
+        r = phases * LENZEN_PHASE_ROUNDS
+        self.rounds += r
+        self.total_words += words * self.n
+        self.log.append(CCLogEntry(name, r, words * self.n))
+        return r
+
+    def charge_aggregate(self, *, name: str = "aggregate") -> int:
+        """All nodes send O(1) words to one coordinator (counts collection
+        in Theorem 8.1): one round."""
+        self.rounds += 1
+        self.total_words += self.n
+        self.log.append(CCLogEntry(name, 1, self.n))
+        return 1
+
+    def summary(self) -> dict:
+        return {
+            "n": self.n,
+            "rounds": self.rounds,
+            "total_words": self.total_words,
+            "steps": len(self.log),
+        }

@@ -1,0 +1,139 @@
+"""Exact cluster forests: the rooted trees behind every cluster.
+
+Definition 4.2 of the paper: a cluster is a vertex set *plus a rooted tree*
+whose root is the cluster center; the radius is the tree depth and every
+stretch argument walks these trees.  The radius *recurrence* is tracked by
+the engine; this module maintains the actual trees (parent pointers over
+original vertices) so the Theorem 4.8 radius bound can be checked against
+measured tree depths, and the trees themselves can be validated as proof
+artifacts: tree edges are spanner edges, every cluster is spanned by one
+tree rooted at its seed.
+
+Re-rooting (:func:`reroot`) reverses the parent chain from the new root to
+the old one — exactly what Step 4 of Section 4.1 does when a sampled
+cluster absorbs a neighbor by an edge landing at an interior vertex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.graph import WeightedGraph
+
+__all__ = ["ClusterForest", "ClusterTreeStats", "reroot", "forest_stats"]
+
+
+@dataclass
+class ClusterForest:
+    """Parent-pointer forest over the original vertices.
+
+    ``parent[v] == -1`` marks a root; otherwise ``parent_eid[v]`` is the
+    input-graph edge realizing the pointer.
+    """
+
+    parent: np.ndarray
+    parent_eid: np.ndarray
+
+    @classmethod
+    def singletons(cls, n: int) -> "ClusterForest":
+        return cls(
+            parent=np.full(n, -1, dtype=np.int64),
+            parent_eid=np.full(n, -1, dtype=np.int64),
+        )
+
+    def edge_ids(self) -> np.ndarray:
+        """All edge ids used by parent pointers."""
+        return np.unique(self.parent_eid[self.parent_eid >= 0])
+
+
+def reroot(forest: ClusterForest, new_root: int) -> None:
+    """Re-root ``new_root``'s tree at ``new_root`` (reverse the chain up)."""
+    chain: list[int] = []
+    eids: list[int] = []
+    x = int(new_root)
+    while forest.parent[x] >= 0:
+        chain.append(x)
+        eids.append(int(forest.parent_eid[x]))
+        x = int(forest.parent[x])
+    chain.append(x)
+    # Reverse: old parent becomes child along the chain.
+    for child, par, eid in zip(chain[1:], chain[:-1], eids):
+        forest.parent[child] = par
+        forest.parent_eid[child] = eid
+    forest.parent[new_root] = -1
+    forest.parent_eid[new_root] = -1
+
+
+@dataclass(frozen=True)
+class ClusterTreeStats:
+    """Measured statistics of one cluster's tree."""
+
+    root: int
+    size: int
+    hop_radius: int
+    weighted_radius: float
+
+
+def forest_stats(
+    g: WeightedGraph,
+    labels: np.ndarray,
+    forest: ClusterForest,
+    *,
+    validate: bool = True,
+) -> dict[int, ClusterTreeStats]:
+    """Per-cluster tree statistics, validating structure on the way.
+
+    Checks (when ``validate``): every parent pointer stays inside the
+    vertex's cluster, is realized by a real edge of ``g`` joining exactly
+    those endpoints, and the pointer graph is acyclic with one root per
+    cluster.
+    """
+    n = g.n
+    labels = np.asarray(labels, dtype=np.int64)
+    depth_hops = np.full(n, -1, dtype=np.int64)
+    depth_w = np.full(n, -1.0)
+
+    def resolve(v: int) -> None:
+        # Iterative chain walk with memoization; cycle-safe via step cap.
+        chain = []
+        x = v
+        steps = 0
+        while depth_hops[x] < 0:
+            p = int(forest.parent[x])
+            if p < 0:
+                depth_hops[x] = 0
+                depth_w[x] = 0.0
+                break
+            chain.append(x)
+            x = p
+            steps += 1
+            if steps > n:
+                raise AssertionError("cycle in cluster forest")
+        for y in reversed(chain):
+            p = int(forest.parent[y])
+            e = int(forest.parent_eid[y])
+            if validate:
+                assert labels[y] == labels[p], "parent pointer crosses clusters"
+                a, b = int(g.edges_u[e]), int(g.edges_v[e])
+                assert {a, b} == {y, p}, "parent edge does not join y to parent"
+            depth_hops[y] = depth_hops[p] + 1
+            depth_w[y] = depth_w[p] + float(g.edges_w[forest.parent_eid[y]])
+
+    for v in range(n):
+        resolve(v)
+
+    out: dict[int, ClusterTreeStats] = {}
+    for c in np.unique(labels[labels >= 0]):
+        members = np.flatnonzero(labels == c)
+        roots = members[forest.parent[members] < 0]
+        if validate:
+            assert roots.size == 1, f"cluster {c} has {roots.size} roots"
+        out[int(c)] = ClusterTreeStats(
+            root=int(roots[0]) if roots.size else -1,
+            size=int(members.size),
+            hop_radius=int(depth_hops[members].max()),
+            weighted_radius=float(depth_w[members].max()),
+        )
+    return out

@@ -1,0 +1,104 @@
+"""Result records shared by every spanner algorithm.
+
+All algorithms return a :class:`SpannerResult`: the chosen edge ids of the
+*original* input graph plus enough instrumentation (per-iteration cluster
+counts, per-epoch radii, simulated round counts when applicable) to
+regenerate the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graphs.graph import WeightedGraph
+
+__all__ = ["IterationStats", "SpannerResult"]
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Instrumentation for one Baswana–Sen-style iteration.
+
+    Attributes
+    ----------
+    epoch, iteration:
+        1-based indices (iteration within the epoch).
+    num_clusters:
+        Alive clusters *before* this iteration's sampling.
+    num_sampled:
+        Clusters surviving the sampling step.
+    num_alive_edges:
+        Unprocessed edges before the iteration.
+    num_added:
+        Spanner edges added during the iteration.
+    sampling_probability:
+        The ``p`` used.
+    max_radius_bound:
+        Upper bound on the weighted-stretch radius of any cluster after the
+        iteration (tracked via the Lemma 5.8 recurrence, not by measuring
+        trees — see DESIGN.md).
+    """
+
+    epoch: int
+    iteration: int
+    num_clusters: int
+    num_sampled: int
+    num_alive_edges: int
+    num_added: int
+    sampling_probability: float
+    max_radius_bound: float
+
+
+@dataclass
+class SpannerResult:
+    """Output of a spanner construction.
+
+    Attributes
+    ----------
+    edge_ids:
+        Sorted unique ids into the input graph's edge arrays.
+    algorithm:
+        Human-readable algorithm name.
+    k, t:
+        The stretch parameter and growth parameter used (``t`` may be None
+        for algorithms without one).
+    iterations:
+        Logical Baswana–Sen-style iteration count actually executed (the
+        quantity the paper's round bounds are about, before the ``O(1/γ)``
+        MPC factor).
+    stats:
+        Per-iteration instrumentation.
+    phase2_added:
+        Edges added by the final clean-up phase.
+    extra:
+        Algorithm-specific extras (e.g. simulated MPC rounds).
+    """
+
+    edge_ids: np.ndarray
+    algorithm: str
+    k: int
+    t: int | None
+    iterations: int
+    stats: list[IterationStats] = field(default_factory=list)
+    phase2_added: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def num_edges(self) -> int:
+        """Spanner size in edges."""
+        return int(self.edge_ids.size)
+
+    def subgraph(self, g: WeightedGraph) -> WeightedGraph:
+        """Materialize the spanner as a :class:`WeightedGraph` over ``g``."""
+        return g.subgraph_from_edge_ids(self.edge_ids)
+
+    def epochs_executed(self) -> int:
+        """Number of distinct epochs that ran."""
+        return len({s.epoch for s in self.stats})
+
+    def cluster_trajectory(self) -> list[tuple[int, int, int]]:
+        """``(epoch, iteration, num_clusters)`` rows — the Lemma 4.12 / 5.12
+        decay data."""
+        return [(s.epoch, s.iteration, s.num_clusters) for s in self.stats]

@@ -1,0 +1,16 @@
+"""Spanner-based distance approximation (Section 7 / Corollary 1.4) and
+Thorup-Zwick distance sketches (the [DN19] application)."""
+
+from .oracle import ApproximationReport, SpannerDistanceOracle, measure_approximation
+from .sketches import DistanceSketch, sketch_on_spanner
+from .sssp import approximate_sssp, sssp_quality
+
+__all__ = [
+    "SpannerDistanceOracle",
+    "ApproximationReport",
+    "measure_approximation",
+    "approximate_sssp",
+    "sssp_quality",
+    "DistanceSketch",
+    "sketch_on_spanner",
+]

@@ -1,0 +1,151 @@
+"""Spanner-based approximate distance oracles (Section 7).
+
+The paper's APSP scheme is: build a near-linear-size spanner (``k = log n``,
+``t = log log n`` ⇒ size ``O(n log log n)``, stretch ``log^{1+o(1)} n``),
+ship it to one machine, and answer every distance query locally on the
+spanner.  :class:`SpannerDistanceOracle` is that "one machine": it holds the
+spanner and answers queries with Dijkstra runs (cached per source).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import csgraph
+
+from ..core.general_tradeoff import general_tradeoff
+from ..core.params import apsp_parameters, stretch_bound
+from ..core.results import SpannerResult
+from ..graphs.distances import pairwise_distances
+from ..graphs.graph import WeightedGraph
+
+__all__ = ["SpannerDistanceOracle", "ApproximationReport", "measure_approximation"]
+
+
+@dataclass(frozen=True)
+class ApproximationReport:
+    """Observed quality of the oracle against exact distances."""
+
+    max_ratio: float
+    mean_ratio: float
+    num_pairs: int
+    stretch_bound: float
+
+    @property
+    def within_bound(self) -> bool:
+        return self.max_ratio <= self.stretch_bound + 1e-9
+
+
+class SpannerDistanceOracle:
+    """All-pairs approximate distances via a collected spanner.
+
+    Parameters
+    ----------
+    g:
+        The input weighted graph.
+    k, t:
+        Spanner parameters; default to the paper's APSP setting
+        ``k = log2 n``, ``t = log2 log2 n`` (Section 7).
+    rng:
+        Seed or generator for the spanner construction.
+
+    Examples
+    --------
+    >>> from repro.graphs import erdos_renyi
+    >>> g = erdos_renyi(256, 0.1, weights="uniform", rng=0)
+    >>> oracle = SpannerDistanceOracle(g, rng=0)
+    >>> d = oracle.query(0, 5)          # approximate distance
+    >>> oracle.spanner.m <= g.m
+    True
+    """
+
+    def __init__(
+        self,
+        g: WeightedGraph,
+        k: int | None = None,
+        t: int | None = None,
+        *,
+        rng=None,
+    ) -> None:
+        if k is None or t is None:
+            dk, dt = apsp_parameters(g.n)
+            k = k if k is not None else dk
+            t = t if t is not None else dt
+        self.g = g
+        self.k = k
+        self.t = t
+        self.result: SpannerResult = general_tradeoff(g, k, t, rng=rng)
+        self.spanner: WeightedGraph = self.result.subgraph(g)
+        self._matrix = self.spanner.to_scipy() if self.spanner.m else None
+        self._cache: dict[int, np.ndarray] = {}
+
+    @property
+    def guaranteed_stretch(self) -> float:
+        """The paper's stretch bound ``2 k^s`` for this (k, t)."""
+        return stretch_bound(self.k, self.result.extra.get("t_effective", self.t))
+
+    def distances_from(self, source: int) -> np.ndarray:
+        """Approximate distances from ``source`` to all vertices."""
+        if not 0 <= source < self.g.n:
+            raise ValueError(f"source {source} out of range")
+        if source not in self._cache:
+            if self._matrix is None:
+                d = np.full(self.g.n, np.inf)
+                d[source] = 0.0
+            else:
+                d = csgraph.dijkstra(self._matrix, directed=False, indices=source)
+            # Keep the cache bounded: hold at most 4096 source rows.
+            if len(self._cache) >= 4096:
+                self._cache.clear()
+            self._cache[source] = d
+        return self._cache[source]
+
+    def query(self, u: int, v: int) -> float:
+        """Approximate distance between ``u`` and ``v``."""
+        return float(self.distances_from(u)[v])
+
+    def query_many(self, pairs) -> np.ndarray:
+        """Vectorized :meth:`query` over an ``(r, 2)`` pair array."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        out = np.empty(pairs.shape[0])
+        for i, (a, b) in enumerate(pairs):
+            out[i] = self.distances_from(int(a))[b]
+        return out
+
+    def all_pairs(self) -> np.ndarray:
+        """Full approximate APSP matrix (``O(n^2)`` memory)."""
+        if self._matrix is None:
+            d = np.full((self.g.n, self.g.n), np.inf)
+            np.fill_diagonal(d, 0.0)
+            return d
+        return csgraph.dijkstra(self._matrix, directed=False)
+
+
+def measure_approximation(
+    oracle: SpannerDistanceOracle,
+    *,
+    num_pairs: int = 512,
+    rng=None,
+) -> ApproximationReport:
+    """Compare oracle answers with exact distances on random connected pairs."""
+    rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    n = oracle.g.n
+    if n < 2:
+        return ApproximationReport(1.0, 1.0, 0, oracle.guaranteed_stretch)
+    us = rng.integers(0, n, size=num_pairs)
+    vs = rng.integers(0, n, size=num_pairs)
+    keep = us != vs
+    pairs = np.stack([us[keep], vs[keep]], axis=1)
+    exact = pairwise_distances(oracle.g, pairs)
+    approx = oracle.query_many(pairs)
+    mask = np.isfinite(exact) & (exact > 0)
+    if not mask.any():
+        return ApproximationReport(1.0, 1.0, 0, oracle.guaranteed_stretch)
+    ratios = approx[mask] / exact[mask]
+    return ApproximationReport(
+        max_ratio=max(float(ratios.max()), 1.0),
+        mean_ratio=max(float(ratios.mean()), 1.0),
+        num_pairs=int(mask.sum()),
+        stretch_bound=oracle.guaranteed_stretch,
+    )

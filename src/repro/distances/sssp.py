@@ -1,0 +1,52 @@
+"""Approximate single-source shortest paths via spanners.
+
+SSSP is the special case of the paper's APSP corollary that only needs one
+source row; we expose it separately because the introduction frames the
+open problem in terms of SSSP and the benches report its quality
+independently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.general_tradeoff import general_tradeoff
+from ..core.params import apsp_parameters
+from ..graphs.distances import sssp as exact_sssp
+from ..graphs.graph import WeightedGraph
+
+__all__ = ["approximate_sssp", "sssp_quality"]
+
+
+def approximate_sssp(
+    g: WeightedGraph,
+    source: int,
+    *,
+    k: int | None = None,
+    t: int | None = None,
+    rng=None,
+) -> np.ndarray:
+    """Distances from ``source`` measured on a freshly built spanner.
+
+    Uses the Section 7 parameters by default.  For repeated queries build a
+    :class:`repro.distances.oracle.SpannerDistanceOracle` instead — this
+    helper rebuilds the spanner every call.
+    """
+    if k is None or t is None:
+        dk, dt = apsp_parameters(g.n)
+        k = k if k is not None else dk
+        t = t if t is not None else dt
+    res = general_tradeoff(g, k, t, rng=rng)
+    return exact_sssp(res.subgraph(g), source)
+
+
+def sssp_quality(
+    g: WeightedGraph, approx: np.ndarray, source: int
+) -> tuple[float, float]:
+    """``(max_ratio, mean_ratio)`` of approximate vs exact SSSP distances."""
+    exact = exact_sssp(g, source)
+    mask = np.isfinite(exact) & (exact > 0)
+    if not mask.any():
+        return 1.0, 1.0
+    ratios = approx[mask] / exact[mask]
+    return max(float(ratios.max()), 1.0), max(float(ratios.mean()), 1.0)

@@ -1,0 +1,199 @@
+"""Exact shortest-path computation used as ground truth.
+
+Spanner quality is always judged against exact distances.  For the problem
+sizes the benchmark harness uses (up to a few thousand vertices) scipy's
+compiled Dijkstra is the right tool; a pure-Python binary-heap Dijkstra is
+kept as an independently-verified reference implementation (the property
+tests cross-check the two).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+from scipy.sparse import csgraph
+
+from .graph import WeightedGraph
+
+__all__ = [
+    "sssp",
+    "sssp_reference",
+    "apsp",
+    "pairwise_distances",
+    "bfs_hops",
+    "connected_components",
+    "same_components",
+    "eccentricity",
+    "k_hop_ball",
+]
+
+_INF = np.inf
+
+
+def sssp(g: WeightedGraph, source: int) -> np.ndarray:
+    """Single-source shortest path distances from ``source`` (scipy Dijkstra).
+
+    Unreachable vertices get ``inf``.
+    """
+    if not 0 <= source < g.n:
+        raise ValueError(f"source {source} out of range for n={g.n}")
+    if g.m == 0:
+        d = np.full(g.n, _INF)
+        d[source] = 0.0
+        return d
+    return csgraph.dijkstra(g.to_scipy(), directed=False, indices=source)
+
+
+def sssp_reference(g: WeightedGraph, source: int) -> np.ndarray:
+    """Pure-Python Dijkstra with a binary heap; used to cross-validate
+    :func:`sssp` in tests."""
+    if not 0 <= source < g.n:
+        raise ValueError(f"source {source} out of range for n={g.n}")
+    dist = np.full(g.n, _INF)
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    csr = g.csr
+    done = np.zeros(g.n, dtype=bool)
+    while heap:
+        d, x = heapq.heappop(heap)
+        if done[x]:
+            continue
+        done[x] = True
+        lo, hi = csr.indptr[x], csr.indptr[x + 1]
+        for y, w in zip(csr.indices[lo:hi], csr.weights[lo:hi]):
+            nd = d + w
+            if nd < dist[y]:
+                dist[y] = nd
+                heapq.heappush(heap, (nd, int(y)))
+    return dist
+
+
+def apsp(g: WeightedGraph) -> np.ndarray:
+    """Exact all-pairs shortest paths, ``(n, n)`` matrix.
+
+    ``O(n (m + n log n))`` via repeated Dijkstra; only call at benchmark
+    scale (n up to a few thousand).
+    """
+    if g.m == 0:
+        d = np.full((g.n, g.n), _INF)
+        np.fill_diagonal(d, 0.0)
+        return d
+    return csgraph.dijkstra(g.to_scipy(), directed=False)
+
+
+def pairwise_distances(
+    g: WeightedGraph, pairs: Sequence[tuple[int, int]] | np.ndarray
+) -> np.ndarray:
+    """Exact distances for selected ``(u, v)`` pairs.
+
+    Runs one Dijkstra per distinct source, so it is efficient when sources
+    repeat (the sampled-pair stretch measurement does exactly that).
+    """
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.size == 0:
+        return np.zeros(0)
+    out = np.empty(pairs.shape[0])
+    mat = g.to_scipy() if g.m else None
+    for s in np.unique(pairs[:, 0]):
+        mask = pairs[:, 0] == s
+        if mat is None:
+            d = np.full(g.n, _INF)
+            d[s] = 0.0
+        else:
+            d = csgraph.dijkstra(mat, directed=False, indices=int(s))
+        out[mask] = d[pairs[mask, 1]]
+    return out
+
+
+def bfs_hops(g: WeightedGraph, source: int) -> np.ndarray:
+    """Hop distances (ignoring weights) from ``source``; ``-1`` means
+    unreachable.  Vectorized frontier BFS."""
+    if not 0 <= source < g.n:
+        raise ValueError(f"source {source} out of range")
+    dist = np.full(g.n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    csr = g.csr
+    level = 0
+    while frontier.size:
+        level += 1
+        # Gather all neighbors of the frontier at once.
+        starts = csr.indptr[frontier]
+        stops = csr.indptr[frontier + 1]
+        total = int((stops - starts).sum())
+        if total == 0:
+            break
+        nbrs = np.concatenate(
+            [csr.indices[a:b] for a, b in zip(starts, stops)]
+        )
+        nbrs = np.unique(nbrs)
+        new = nbrs[dist[nbrs] == -1]
+        dist[new] = level
+        frontier = new
+    return dist
+
+
+def k_hop_ball(g: WeightedGraph, source: int, hops: int, *, cap: int | None = None) -> np.ndarray:
+    """Vertices within ``hops`` hops of ``source`` (including it), BFS order.
+
+    ``cap`` truncates exploration once that many vertices are collected —
+    this is the ``Θ(n^{γ/2})``-capped ball-growing of Appendix B.
+    """
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    seen = {int(source)}
+    order = [int(source)]
+    frontier = [int(source)]
+    csr = g.csr
+    for _ in range(hops):
+        nxt: list[int] = []
+        for x in frontier:
+            for y in csr.indices[csr.indptr[x] : csr.indptr[x + 1]]:
+                y = int(y)
+                if y not in seen:
+                    seen.add(y)
+                    order.append(y)
+                    nxt.append(y)
+                    if cap is not None and len(order) >= cap:
+                        return np.asarray(order, dtype=np.int64)
+        if not nxt:
+            break
+        frontier = nxt
+    return np.asarray(order, dtype=np.int64)
+
+
+def connected_components(g: WeightedGraph) -> np.ndarray:
+    """Component label per vertex (labels are arbitrary but consistent)."""
+    if g.m == 0:
+        return np.arange(g.n, dtype=np.int64)
+    _, labels = csgraph.connected_components(g.to_scipy(), directed=False)
+    return labels.astype(np.int64)
+
+
+def same_components(a: WeightedGraph, b: WeightedGraph) -> bool:
+    """True if the two graphs (on the same vertex set) induce the same
+    partition into connected components.  A spanner must preserve the
+    component structure of its input."""
+    if a.n != b.n:
+        return False
+    la, lb = connected_components(a), connected_components(b)
+    # Same partition iff the label pairs biject.
+    pa = {}
+    pb = {}
+    for x in range(a.n):
+        if la[x] in pa and pa[la[x]] != lb[x]:
+            return False
+        if lb[x] in pb and pb[lb[x]] != la[x]:
+            return False
+        pa[la[x]] = lb[x]
+        pb[lb[x]] = la[x]
+    return True
+
+
+def eccentricity(g: WeightedGraph, source: int) -> float:
+    """Max finite distance from ``source`` (0 for isolated vertices)."""
+    d = sssp(g, source)
+    finite = d[np.isfinite(d)]
+    return float(finite.max()) if finite.size else 0.0

@@ -1,0 +1,308 @@
+"""Graph generators for the experiment suite.
+
+The paper's theorems are worst-case statements over all weighted graphs; the
+benchmark harness exercises them on the standard families that the MPC
+literature (and the paper's introduction) motivates:
+
+* Erdős–Rényi ``G(n, p)`` — the dense/sparse random regime,
+* Barabási–Albert preferential attachment — skewed degree (web/social),
+* random geometric graphs — spatial/road-network-like locality,
+* grids and tori — high-girth structured graphs where spanners must keep
+  almost everything,
+* ring-of-cliques — clustered graphs where contraction shines,
+* complete graphs — the extreme where a spanner discards almost everything,
+* cycles and double cycles — the "one cycle vs two cycles" conjectured-hard
+  instance discussed with the conditional lower bound.
+
+Every generator takes a :class:`numpy.random.Generator` (or an int seed) so
+experiments are reproducible, and a ``weights`` specification shared by
+:func:`draw_weights`.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from .graph import WeightedGraph
+
+__all__ = [
+    "draw_weights",
+    "erdos_renyi",
+    "gnm_random",
+    "barabasi_albert",
+    "random_geometric",
+    "grid_graph",
+    "torus_graph",
+    "ring_of_cliques",
+    "complete_graph",
+    "cycle_graph",
+    "double_cycle",
+    "path_graph",
+    "star_graph",
+    "random_tree",
+    "hard_girth_instance",
+]
+
+WeightModel = Literal["unit", "uniform", "exponential", "powerlaw", "integer"]
+
+
+def _rng(seed) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def draw_weights(
+    m: int, model: WeightModel = "unit", rng=None, *, low: float = 1.0, high: float = 100.0
+) -> np.ndarray:
+    """Draw ``m`` edge weights from the named model.
+
+    ``unit``
+        all ones (unweighted graph);
+    ``uniform``
+        uniform on ``[low, high]``;
+    ``exponential``
+        ``1 + Exp(1) * (high - low)`` — heavy spread, strictly positive;
+    ``powerlaw``
+        Pareto-like tail, exercising the weighted-stretch machinery on
+        extremely skewed weights;
+    ``integer``
+        uniform integers in ``[low, high]`` (Congested Clique messages carry
+        `O(log n)`-bit words; integer weights are the natural fit there).
+    """
+    rng = _rng(rng)
+    if model == "unit":
+        return np.ones(m)
+    if model == "uniform":
+        return rng.uniform(low, high, size=m)
+    if model == "exponential":
+        return low + rng.exponential(scale=(high - low) or 1.0, size=m)
+    if model == "powerlaw":
+        return low * (1.0 + rng.pareto(a=1.5, size=m))
+    if model == "integer":
+        return rng.integers(int(low), int(high) + 1, size=m).astype(np.float64)
+    raise ValueError(f"unknown weight model {model!r}")
+
+
+def erdos_renyi(
+    n: int, p: float, *, weights: WeightModel = "unit", rng=None, **wkw
+) -> WeightedGraph:
+    """``G(n, p)`` sampled by vectorized coin flips over the upper triangle.
+
+    Memory is ``O(n^2)`` bits transiently; fine for the `n ≤ ~10^4` scale the
+    benchmark suite uses.
+    """
+    rng = _rng(rng)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    iu = np.triu_indices(n, k=1)
+    mask = rng.random(iu[0].size) < p
+    u, v = iu[0][mask], iu[1][mask]
+    w = draw_weights(u.size, weights, rng, **wkw)
+    return WeightedGraph(n, u, v, w)
+
+
+def gnm_random(
+    n: int, m: int, *, weights: WeightModel = "unit", rng=None, **wkw
+) -> WeightedGraph:
+    """Uniform random graph with exactly ``m`` distinct edges."""
+    rng = _rng(rng)
+    max_m = n * (n - 1) // 2
+    if m > max_m:
+        raise ValueError(f"m={m} exceeds max {max_m} for n={n}")
+    # Sample edge codes without replacement from the triangular index space.
+    codes = rng.choice(max_m, size=m, replace=False)
+    # Decode code -> (u, v): standard triangular decoding.
+    u = (n - 2 - np.floor(np.sqrt(-8 * codes + 4 * n * (n - 1) - 7) / 2.0 - 0.5)).astype(
+        np.int64
+    )
+    v = (codes + u + 1 - n * (n - 1) // 2 + (n - u) * ((n - u) - 1) // 2).astype(np.int64)
+    w = draw_weights(m, weights, rng, **wkw)
+    return WeightedGraph(n, u, v, w)
+
+
+def barabasi_albert(
+    n: int, attach: int, *, weights: WeightModel = "unit", rng=None, **wkw
+) -> WeightedGraph:
+    """Preferential attachment: each new vertex attaches to ``attach``
+    existing vertices chosen proportionally to degree (repeated-targets
+    collapsed by dedup)."""
+    rng = _rng(rng)
+    if attach < 1 or attach >= n:
+        raise ValueError("need 1 <= attach < n")
+    targets = list(range(attach))
+    repeated: list[int] = list(range(attach))
+    us, vs = [], []
+    for src in range(attach, n):
+        chosen = rng.choice(repeated, size=attach, replace=True)
+        for t in set(int(c) for c in chosen):
+            us.append(src)
+            vs.append(t)
+            repeated.append(t)
+            repeated.append(src)
+    u = np.asarray(us, dtype=np.int64)
+    v = np.asarray(vs, dtype=np.int64)
+    w = draw_weights(u.size, weights, rng, **wkw)
+    return WeightedGraph(n, u, v, w)
+
+
+def random_geometric(
+    n: int, radius: float, *, weights: WeightModel = "unit", rng=None, **wkw
+) -> WeightedGraph:
+    """Random geometric graph on the unit square; when ``weights='unit'`` we
+    still return 1.0 weights, otherwise drawn weights are *scaled by the
+    Euclidean edge length* so the metric is locally consistent (road-network
+    style)."""
+    rng = _rng(rng)
+    pts = rng.random((n, 2))
+    iu = np.triu_indices(n, k=1)
+    d = np.sqrt(((pts[iu[0]] - pts[iu[1]]) ** 2).sum(axis=1))
+    mask = d <= radius
+    u, v, dist = iu[0][mask], iu[1][mask], d[mask]
+    if weights == "unit":
+        w = np.ones(u.size)
+    else:
+        w = draw_weights(u.size, weights, rng, **wkw) * np.maximum(dist, 1e-9)
+    return WeightedGraph(n, u, v, w)
+
+
+def grid_graph(
+    rows: int, cols: int, *, weights: WeightModel = "unit", rng=None, **wkw
+) -> WeightedGraph:
+    """``rows x cols`` grid; vertex ``(r, c)`` is ``r * cols + c``."""
+    r, c = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    idx = (r * cols + c).astype(np.int64)
+    us = np.concatenate([idx[:, :-1].ravel(), idx[:-1, :].ravel()])
+    vs = np.concatenate([idx[:, 1:].ravel(), idx[1:, :].ravel()])
+    w = draw_weights(us.size, weights, _rng(rng), **wkw)
+    return WeightedGraph(rows * cols, us, vs, w)
+
+
+def torus_graph(
+    rows: int, cols: int, *, weights: WeightModel = "unit", rng=None, **wkw
+) -> WeightedGraph:
+    """Grid with wraparound edges in both dimensions."""
+    r, c = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    idx = (r * cols + c).astype(np.int64)
+    right = np.roll(idx, -1, axis=1)
+    down = np.roll(idx, -1, axis=0)
+    us = np.concatenate([idx.ravel(), idx.ravel()])
+    vs = np.concatenate([right.ravel(), down.ravel()])
+    keep = us != vs  # degenerate 1-wide tori create self loops
+    us, vs = us[keep], vs[keep]
+    w = draw_weights(us.size, weights, _rng(rng), **wkw)
+    return WeightedGraph(rows * cols, us, vs, w)
+
+
+def ring_of_cliques(
+    num_cliques: int, clique_size: int, *, weights: WeightModel = "unit", rng=None, **wkw
+) -> WeightedGraph:
+    """``num_cliques`` cliques of size ``clique_size`` joined in a ring by
+    single bridge edges — a natural fit for contraction-based algorithms."""
+    if num_cliques < 1 or clique_size < 1:
+        raise ValueError("need at least one clique of size >= 1")
+    us, vs = [], []
+    for q in range(num_cliques):
+        base = q * clique_size
+        for a in range(clique_size):
+            for b in range(a + 1, clique_size):
+                us.append(base + a)
+                vs.append(base + b)
+    if num_cliques > 1:
+        for q in range(num_cliques):
+            a = q * clique_size
+            b = ((q + 1) % num_cliques) * clique_size
+            if a != b:
+                us.append(a)
+                vs.append(b)
+    u = np.asarray(us, dtype=np.int64)
+    v = np.asarray(vs, dtype=np.int64)
+    w = draw_weights(u.size, weights, _rng(rng), **wkw)
+    return WeightedGraph(num_cliques * clique_size, u, v, w)
+
+
+def complete_graph(
+    n: int, *, weights: WeightModel = "unit", rng=None, **wkw
+) -> WeightedGraph:
+    """The complete graph K_n."""
+    iu = np.triu_indices(n, k=1)
+    w = draw_weights(iu[0].size, weights, _rng(rng), **wkw)
+    return WeightedGraph(n, iu[0], iu[1], w)
+
+
+def cycle_graph(n: int, *, weights: WeightModel = "unit", rng=None, **wkw) -> WeightedGraph:
+    """A single n-cycle."""
+    if n < 3:
+        raise ValueError("cycle needs n >= 3")
+    u = np.arange(n, dtype=np.int64)
+    v = (u + 1) % n
+    w = draw_weights(n, weights, _rng(rng), **wkw)
+    return WeightedGraph(n, u, v, w)
+
+
+def double_cycle(n: int, *, weights: WeightModel = "unit", rng=None, **wkw) -> WeightedGraph:
+    """Two disjoint cycles of ``n/2`` vertices each — the companion of the
+    "one cycle vs two cycles" connectivity conjecture that underlies the
+    conditional lower bound discussed in the paper."""
+    if n < 6 or n % 2:
+        raise ValueError("double cycle needs even n >= 6")
+    half = n // 2
+    u1 = np.arange(half, dtype=np.int64)
+    v1 = (u1 + 1) % half
+    u2 = u1 + half
+    v2 = v1 + half
+    u = np.concatenate([u1, u2])
+    v = np.concatenate([v1, v2])
+    w = draw_weights(n, weights, _rng(rng), **wkw)
+    return WeightedGraph(n, u, v, w)
+
+
+def path_graph(n: int, *, weights: WeightModel = "unit", rng=None, **wkw) -> WeightedGraph:
+    """A simple path 0-1-...-(n-1)."""
+    if n < 1:
+        raise ValueError("path needs n >= 1")
+    u = np.arange(n - 1, dtype=np.int64)
+    v = u + 1
+    w = draw_weights(u.size, weights, _rng(rng), **wkw)
+    return WeightedGraph(n, u, v, w)
+
+
+def star_graph(n: int, *, weights: WeightModel = "unit", rng=None, **wkw) -> WeightedGraph:
+    """Vertex 0 joined to all others — the dense-center example used when
+    the paper discusses ball-growing request explosions (Appendix B.2.1)."""
+    if n < 2:
+        raise ValueError("star needs n >= 2")
+    u = np.zeros(n - 1, dtype=np.int64)
+    v = np.arange(1, n, dtype=np.int64)
+    w = draw_weights(n - 1, weights, _rng(rng), **wkw)
+    return WeightedGraph(n, u, v, w)
+
+
+def random_tree(n: int, *, weights: WeightModel = "unit", rng=None, **wkw) -> WeightedGraph:
+    """Uniform random recursive tree (each vertex attaches to a uniform
+    earlier vertex).  A tree is its own unique spanner, a useful edge case."""
+    rng = _rng(rng)
+    if n < 1:
+        raise ValueError("tree needs n >= 1")
+    if n == 1:
+        z = np.zeros(0, dtype=np.int64)
+        return WeightedGraph(1, z, z, np.zeros(0))
+    v = np.arange(1, n, dtype=np.int64)
+    u = (rng.random(n - 1) * v).astype(np.int64)  # uniform in [0, v)
+    w = draw_weights(n - 1, weights, rng, **wkw)
+    return WeightedGraph(n, u, v, w)
+
+
+def hard_girth_instance(n: int, k: int, *, rng=None) -> WeightedGraph:
+    """A (heuristically) high-girth-ish sparse graph: a random graph with
+    ``~ n^{1+1/k} / 2`` edges after removal of short cycles via a greedy
+    pass.  Near the Erdős girth-conjecture density where (2k-1)-spanners
+    cannot discard much, so it stresses the size analysis.
+    """
+    rng = _rng(rng)
+    target_m = max(n - 1, int(0.5 * n ** (1.0 + 1.0 / max(k, 1))))
+    target_m = min(target_m, n * (n - 1) // 2)
+    g = gnm_random(n, target_m, weights="unit", rng=rng)
+    return g

@@ -1,0 +1,337 @@
+"""Weighted graph data structures backed by numpy arrays.
+
+The whole reproduction works on simple undirected weighted graphs.  The
+canonical in-memory representation is :class:`WeightedGraph`, which stores a
+de-duplicated, canonically ordered edge list (``u < v`` per edge) together
+with a lazily built CSR adjacency structure.  Edge ids index into the edge
+list, which lets spanner algorithms return *edge id sets* that always refer
+to edges of the original input graph even after several rounds of cluster
+contraction.
+
+Design notes
+------------
+* Vertices are ``0 .. n-1`` integers; there is no vertex-relabelling layer.
+* Edges are stored column-wise (``u``, ``v``, ``w`` arrays) which keeps all
+  per-edge operations vectorized — the guides for this domain emphasize
+  avoiding per-element Python loops, so every bulk operation here is a numpy
+  expression.
+* Graphs are immutable after construction.  Algorithms build *new* graphs
+  (e.g. quotient graphs) instead of mutating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+from scipy import sparse
+
+__all__ = [
+    "WeightedGraph",
+    "canonical_edges",
+    "dedupe_edges",
+]
+
+
+def canonical_edges(
+    u: np.ndarray, v: np.ndarray, w: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return edge arrays with endpoints swapped so that ``u < v`` holds.
+
+    Self loops are rejected with :class:`ValueError` — spanners of simple
+    graphs never need them and silently dropping them would hide input bugs.
+    """
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    w = np.asarray(w, dtype=np.float64)
+    if u.shape != v.shape or u.shape != w.shape:
+        raise ValueError(
+            f"edge arrays must have equal shapes; got {u.shape}, {v.shape}, {w.shape}"
+        )
+    if np.any(u == v):
+        raise ValueError("self loops are not allowed")
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    return lo, hi, w
+
+
+def dedupe_edges(
+    u: np.ndarray, v: np.ndarray, w: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Canonicalize and remove parallel edges, keeping the minimum weight.
+
+    Ties are broken deterministically (stable sort), so results are
+    reproducible across runs.
+    """
+    lo, hi, w = canonical_edges(u, v, w)
+    if lo.size == 0:
+        return lo, hi, w
+    # Sort by (lo, hi, w); the first edge of each (lo, hi) group is minimal.
+    order = np.lexsort((w, hi, lo))
+    lo, hi, w = lo[order], hi[order], w[order]
+    keep = np.ones(lo.size, dtype=bool)
+    keep[1:] = (lo[1:] != lo[:-1]) | (hi[1:] != hi[:-1])
+    return lo[keep], hi[keep], w[keep]
+
+
+@dataclass(frozen=True)
+class _CSR:
+    """Compact adjacency: for vertex ``x``, neighbors live in
+    ``indices[indptr[x]:indptr[x+1]]`` with matching ``weights`` and the id
+    of the underlying undirected edge in ``edge_ids``."""
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
+    edge_ids: np.ndarray
+
+
+class WeightedGraph:
+    """An immutable simple undirected weighted graph.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices (vertices are ``0..n-1``).
+    u, v, w:
+        Parallel arrays describing edges.  Parallel edges are collapsed to
+        the minimum weight; self loops raise.
+    validate:
+        When true (default) endpoints are range-checked and weights checked
+        for positivity/finiteness.  Spanner stretch arguments assume
+        non-negative weights; we require strictly positive finite weights.
+
+    Examples
+    --------
+    >>> g = WeightedGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 2.0)])
+    >>> g.n, g.m
+    (3, 2)
+    >>> list(g.neighbors(1))
+    [0, 2]
+    """
+
+    __slots__ = ("n", "_u", "_v", "_w", "_csr")
+
+    def __init__(
+        self,
+        n: int,
+        u: np.ndarray,
+        v: np.ndarray,
+        w: np.ndarray,
+        *,
+        validate: bool = True,
+    ) -> None:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        lo, hi, w = dedupe_edges(u, v, w)
+        if validate and lo.size:
+            if lo.min() < 0 or hi.max() >= n:
+                raise ValueError("edge endpoint out of range")
+            if not np.all(np.isfinite(w)) or np.any(w <= 0):
+                raise ValueError("edge weights must be positive and finite")
+        self.n = int(n)
+        self._u = lo
+        self._v = hi
+        self._w = w
+        self._csr: _CSR | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, n: int, edges: Iterable[tuple[int, int, float]]
+    ) -> "WeightedGraph":
+        """Build from an iterable of ``(u, v, weight)`` triples."""
+        edges = list(edges)
+        if not edges:
+            z = np.zeros(0, dtype=np.int64)
+            return cls(n, z, z, np.zeros(0))
+        arr = np.asarray(edges, dtype=np.float64)
+        return cls(n, arr[:, 0].astype(np.int64), arr[:, 1].astype(np.int64), arr[:, 2])
+
+    @classmethod
+    def from_unweighted_edges(
+        cls, n: int, edges: Iterable[tuple[int, int]]
+    ) -> "WeightedGraph":
+        """Build an unweighted graph (all weights 1.0)."""
+        edges = list(edges)
+        if not edges:
+            z = np.zeros(0, dtype=np.int64)
+            return cls(n, z, z, np.zeros(0))
+        arr = np.asarray(edges, dtype=np.int64)
+        return cls(n, arr[:, 0], arr[:, 1], np.ones(arr.shape[0]))
+
+    @classmethod
+    def from_networkx(cls, g) -> "WeightedGraph":
+        """Convert a ``networkx`` graph (nodes must be 0..n-1 ints)."""
+        n = g.number_of_nodes()
+        us, vs, ws = [], [], []
+        for a, b, data in g.edges(data=True):
+            us.append(a)
+            vs.append(b)
+            ws.append(float(data.get("weight", 1.0)))
+        return cls(
+            n,
+            np.asarray(us, dtype=np.int64),
+            np.asarray(vs, dtype=np.int64),
+            np.asarray(ws, dtype=np.float64),
+        )
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of (undirected, de-duplicated) edges."""
+        return int(self._u.size)
+
+    @property
+    def edges_u(self) -> np.ndarray:
+        """Lower endpoints, shape ``(m,)``; read-only view."""
+        return self._u
+
+    @property
+    def edges_v(self) -> np.ndarray:
+        """Upper endpoints, shape ``(m,)``."""
+        return self._v
+
+    @property
+    def edges_w(self) -> np.ndarray:
+        """Edge weights, shape ``(m,)``."""
+        return self._w
+
+    @property
+    def is_unweighted(self) -> bool:
+        """True if every weight equals 1."""
+        return bool(np.all(self._w == 1.0))
+
+    def total_weight(self) -> float:
+        """Sum of edge weights."""
+        return float(self._w.sum())
+
+    def edge_tuples(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate ``(u, v, w)`` triples (u < v)."""
+        for a, b, c in zip(self._u, self._v, self._w):
+            yield int(a), int(b), float(c)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        kind = "unweighted" if self.is_unweighted else "weighted"
+        return f"WeightedGraph(n={self.n}, m={self.m}, {kind})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightedGraph):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and np.array_equal(self._u, other._u)
+            and np.array_equal(self._v, other._v)
+            and np.array_equal(self._w, other._w)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely used
+        return hash((self.n, self.m, self._w.sum()))
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def _build_csr(self) -> _CSR:
+        m = self.m
+        # Each undirected edge contributes two directed arcs.
+        src = np.concatenate([self._u, self._v])
+        dst = np.concatenate([self._v, self._u])
+        wt = np.concatenate([self._w, self._w])
+        eid = np.concatenate([np.arange(m), np.arange(m)])
+        order = np.lexsort((dst, src))
+        src, dst, wt, eid = src[order], dst[order], wt[order], eid[order]
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return _CSR(indptr=indptr, indices=dst, weights=wt, edge_ids=eid)
+
+    @property
+    def csr(self) -> _CSR:
+        """CSR adjacency (built lazily, cached)."""
+        if self._csr is None:
+            self._csr = self._build_csr()
+        return self._csr
+
+    def degree(self, x: int | None = None):
+        """Degree of vertex ``x``, or the full degree array if ``x is None``."""
+        c = self.csr
+        degs = np.diff(c.indptr)
+        if x is None:
+            return degs
+        return int(degs[x])
+
+    def neighbors(self, x: int) -> np.ndarray:
+        """Neighbor array of vertex ``x``."""
+        c = self.csr
+        return c.indices[c.indptr[x] : c.indptr[x + 1]]
+
+    def incident_weights(self, x: int) -> np.ndarray:
+        """Weights parallel to :meth:`neighbors`."""
+        c = self.csr
+        return c.weights[c.indptr[x] : c.indptr[x + 1]]
+
+    def incident_edge_ids(self, x: int) -> np.ndarray:
+        """Edge ids parallel to :meth:`neighbors`."""
+        c = self.csr
+        return c.edge_ids[c.indptr[x] : c.indptr[x + 1]]
+
+    # ------------------------------------------------------------------
+    # Conversions / derived graphs
+    # ------------------------------------------------------------------
+    def to_scipy(self) -> sparse.csr_matrix:
+        """Symmetric scipy CSR matrix of weights (for shortest paths)."""
+        m = self.m
+        row = np.concatenate([self._u, self._v])
+        col = np.concatenate([self._v, self._u])
+        dat = np.concatenate([self._w, self._w])
+        return sparse.csr_matrix((dat, (row, col)), shape=(self.n, self.n))
+
+    def to_networkx(self):
+        """Convert to a ``networkx.Graph`` with ``weight`` attributes."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_weighted_edges_from(
+            zip(self._u.tolist(), self._v.tolist(), self._w.tolist())
+        )
+        return g
+
+    def subgraph_from_edge_ids(self, edge_ids: Sequence[int] | np.ndarray) -> "WeightedGraph":
+        """The spanning subgraph induced by a set of edge ids.
+
+        The vertex set is unchanged (all ``n`` vertices), which is exactly
+        what a spanner is: a spanning subgraph.
+        """
+        ids = np.asarray(sorted(set(int(i) for i in np.asarray(edge_ids).ravel())), dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.m):
+            raise ValueError("edge id out of range")
+        return WeightedGraph(
+            self.n, self._u[ids], self._v[ids], self._w[ids], validate=False
+        )
+
+    def has_edge_subset(self, other: "WeightedGraph") -> bool:
+        """True if ``other``'s edge set (with weights) is a subset of ours."""
+        if other.n != self.n:
+            return False
+        ours = set(zip(self._u.tolist(), self._v.tolist(), self._w.tolist()))
+        return all(e in ours for e in zip(other._u.tolist(), other._v.tolist(), other._w.tolist()))
+
+    def edge_index_map(self) -> dict[tuple[int, int], int]:
+        """Map ``(u, v)`` (u < v) to edge id."""
+        return {
+            (int(a), int(b)): i
+            for i, (a, b) in enumerate(zip(self._u, self._v))
+        }
+
+    def reweighted(self, weights: np.ndarray) -> "WeightedGraph":
+        """Same topology with new weights."""
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != self._w.shape:
+            raise ValueError("weight array shape mismatch")
+        return WeightedGraph(self.n, self._u, self._v, w)

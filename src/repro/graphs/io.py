@@ -1,0 +1,77 @@
+"""Graph persistence: a plain weighted edge-list format.
+
+One line per edge: ``u v w`` (whitespace separated), with an optional
+header comment carrying the vertex count (``# n=<count>``) so isolated
+vertices survive a round trip.  The format is deliberately the least
+surprising thing possible — it loads into numpy with one call and is
+compatible with the edge lists most graph repositories ship.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from .graph import WeightedGraph
+
+__all__ = ["write_edgelist", "read_edgelist"]
+
+
+def write_edgelist(g: WeightedGraph, path) -> None:
+    """Write ``g`` to ``path`` as ``# n=<n>`` + one ``u v w`` line per edge."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(f"# n={g.n}\n")
+        for u, v, w in g.edge_tuples():
+            fh.write(f"{u} {v} {w!r}\n")
+
+
+def read_edgelist(path) -> WeightedGraph:
+    """Read a graph written by :func:`write_edgelist` (or any ``u v [w]``
+    edge list; missing weights default to 1, missing header to
+    ``max(endpoint) + 1`` vertices).
+
+    Raises
+    ------
+    ValueError
+        On malformed lines (wrong column count, non-numeric fields).
+    """
+    path = Path(path)
+    n_header: int | None = None
+    us: list[int] = []
+    vs: list[int] = []
+    ws: list[float] = []
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if body.startswith("n="):
+                    try:
+                        n_header = int(body[2:])
+                    except ValueError as exc:
+                        raise ValueError(f"{path}:{lineno}: bad header {line!r}") from exc
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'u v [w]', got {line!r}"
+                )
+            try:
+                us.append(int(parts[0]))
+                vs.append(int(parts[1]))
+                ws.append(float(parts[2]) if len(parts) == 3 else 1.0)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: non-numeric field in {line!r}") from exc
+    if n_header is None:
+        n_header = (max(max(us), max(vs)) + 1) if us else 0
+    return WeightedGraph(
+        n_header,
+        np.asarray(us, dtype=np.int64),
+        np.asarray(vs, dtype=np.int64),
+        np.asarray(ws, dtype=np.float64),
+    )

@@ -1,0 +1,170 @@
+"""Spanner validation: subgraph checks and stretch measurement.
+
+A *k-spanner* of ``G`` is a spanning subgraph ``H`` such that
+``d_H(u, v) <= k * d_G(u, v)`` for all pairs.  A classic and convenient fact
+(used by every stretch proof in the paper) is that it suffices to check the
+inequality on the *edges* of ``G``: if every edge ``(u,v) in G`` satisfies
+``d_H(u,v) <= k * w(u,v)`` then every pair does, because an arbitrary
+shortest path can be replaced edge-by-edge.  :func:`edge_stretch` exploits
+this to measure the exact worst-case stretch in ``O(n (m + n log n))``
+instead of requiring full APSP on both graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import csgraph
+
+from .distances import apsp, pairwise_distances
+from .graph import WeightedGraph
+
+__all__ = [
+    "StretchReport",
+    "is_spanning_subgraph",
+    "edge_stretch",
+    "pair_stretch",
+    "sampled_pair_stretch",
+    "verify_spanner",
+]
+
+
+@dataclass(frozen=True)
+class StretchReport:
+    """Measured stretch statistics of a candidate spanner.
+
+    Attributes
+    ----------
+    max_stretch:
+        Worst ``d_H / d_G`` observed (1.0 for a perfect spanner; ``inf`` if
+        some checked pair became disconnected in H).
+    mean_stretch:
+        Mean over the checked pairs/edges.
+    num_checked:
+        How many pairs/edges the statistics cover.
+    method:
+        ``"edges"`` (exact, via the edge-sufficiency lemma),
+        ``"all-pairs"`` (exact), or ``"sampled-pairs"``.
+    """
+
+    max_stretch: float
+    mean_stretch: float
+    num_checked: int
+    method: str
+
+    def within(self, bound: float) -> bool:
+        """True if the observed worst stretch is within ``bound``."""
+        return self.max_stretch <= bound + 1e-9
+
+
+def is_spanning_subgraph(g: WeightedGraph, h: WeightedGraph) -> bool:
+    """True if ``h`` has the same vertex set and its edges (with weights)
+    all appear in ``g``."""
+    return h.n == g.n and g.has_edge_subset(h)
+
+
+def edge_stretch(g: WeightedGraph, h: WeightedGraph) -> StretchReport:
+    """Exact worst-case stretch of ``h`` w.r.t. ``g``.
+
+    Uses the edge-sufficiency lemma: computes ``d_H(u, v) / w_G(u, v)`` for
+    every edge of ``g``.  The max over edges equals the max over all pairs.
+    """
+    if h.n != g.n:
+        raise ValueError("graphs must share a vertex set")
+    if g.m == 0:
+        return StretchReport(1.0, 1.0, 0, "edges")
+    hs = h.to_scipy() if h.m else None
+    ratios = np.empty(g.m)
+    # One Dijkstra on H per distinct source among g's edges.
+    sources = np.unique(g.edges_u)
+    for s in sources:
+        mask = g.edges_u == s
+        if hs is None:
+            dh = np.full(g.n, np.inf)
+            dh[s] = 0.0
+        else:
+            dh = csgraph.dijkstra(hs, directed=False, indices=int(s))
+        ratios[mask] = dh[g.edges_v[mask]] / g.edges_w[mask]
+    finite = ratios[np.isfinite(ratios)]
+    max_s = float(ratios.max()) if ratios.size else 1.0
+    mean_s = float(finite.mean()) if finite.size else np.inf
+    # Stretch is at least 1 by definition; tiny float noise can dip below.
+    return StretchReport(max(max_s, 1.0), max(mean_s, 1.0), int(g.m), "edges")
+
+
+def pair_stretch(g: WeightedGraph, h: WeightedGraph) -> StretchReport:
+    """Exact stretch over *all* connected pairs (O(n^2) memory)."""
+    if h.n != g.n:
+        raise ValueError("graphs must share a vertex set")
+    dg = apsp(g)
+    dh = apsp(h)
+    iu = np.triu_indices(g.n, k=1)
+    base = dg[iu]
+    mask = np.isfinite(base) & (base > 0)
+    if not mask.any():
+        return StretchReport(1.0, 1.0, 0, "all-pairs")
+    ratios = dh[iu][mask] / base[mask]
+    return StretchReport(
+        max(float(ratios.max()), 1.0),
+        max(float(ratios.mean()), 1.0),
+        int(mask.sum()),
+        "all-pairs",
+    )
+
+
+def sampled_pair_stretch(
+    g: WeightedGraph, h: WeightedGraph, num_pairs: int, rng=None
+) -> StretchReport:
+    """Stretch over ``num_pairs`` random connected pairs — the scalable
+    estimator for larger graphs."""
+    rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    if g.n < 2:
+        return StretchReport(1.0, 1.0, 0, "sampled-pairs")
+    us = rng.integers(0, g.n, size=num_pairs)
+    vs = rng.integers(0, g.n, size=num_pairs)
+    keep = us != vs
+    pairs = np.stack([us[keep], vs[keep]], axis=1)
+    if pairs.size == 0:
+        return StretchReport(1.0, 1.0, 0, "sampled-pairs")
+    dg = pairwise_distances(g, pairs)
+    dh = pairwise_distances(h, pairs)
+    mask = np.isfinite(dg) & (dg > 0)
+    if not mask.any():
+        return StretchReport(1.0, 1.0, 0, "sampled-pairs")
+    ratios = dh[mask] / dg[mask]
+    return StretchReport(
+        max(float(ratios.max()), 1.0),
+        max(float(ratios.mean()), 1.0),
+        int(mask.sum()),
+        "sampled-pairs",
+    )
+
+
+def verify_spanner(
+    g: WeightedGraph,
+    h: WeightedGraph,
+    *,
+    stretch_bound: float | None = None,
+    size_bound: float | None = None,
+) -> StretchReport:
+    """Full validity check, raising ``AssertionError`` on violation.
+
+    Checks, in order: spanning-subgraph property; component preservation
+    (implied by a finite stretch bound, but cheap and gives better error
+    messages); optional exact stretch bound; optional size bound.
+    Returns the stretch report for further inspection.
+    """
+    assert is_spanning_subgraph(g, h), "spanner is not a subgraph of the input"
+    report = edge_stretch(g, h)
+    assert np.isfinite(report.max_stretch), (
+        "spanner disconnects some edge's endpoints "
+        f"(max stretch {report.max_stretch})"
+    )
+    if stretch_bound is not None:
+        assert report.within(stretch_bound), (
+            f"stretch {report.max_stretch:.3f} exceeds bound {stretch_bound:.3f}"
+        )
+    if size_bound is not None:
+        assert h.m <= size_bound, f"size {h.m} exceeds bound {size_bound:.1f}"
+    return report

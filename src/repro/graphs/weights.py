@@ -1,0 +1,93 @@
+"""Weight quantization for bounded-word models.
+
+The Congested Clique (and, strictly, MPC) carry ``O(log n)``-bit words, so
+real-valued weights must be quantized.  The standard trick: round every
+weight *up* to the next integer power of ``1 + ε``.  Each edge — and hence
+each path and each shortest-path distance — is distorted by a factor of at
+most ``1 + ε``, and only ``O(log_{1+ε}(W_max / W_min))`` distinct values
+remain, each representable by its integer exponent.
+
+:func:`quantize_weights` applies the rounding and reports how many bits a
+message word needs; :func:`QuantizationReport.max_distortion` is checked by
+the tests against the ``1 + ε`` guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .graph import WeightedGraph
+
+__all__ = ["QuantizationReport", "quantize_weights"]
+
+
+@dataclass(frozen=True)
+class QuantizationReport:
+    """Outcome of a weight quantization.
+
+    Attributes
+    ----------
+    graph:
+        The reweighted graph (weights are exact powers of ``1 + epsilon``).
+    exponents:
+        Integer exponent per edge: ``w' = w_min * (1+ε)^exponent``.
+    epsilon:
+        The distortion parameter used.
+    bits_per_word:
+        Bits needed to transmit one exponent (what a clique message
+        carries).
+    max_distortion:
+        Measured ``max(w' / w)`` over edges — guaranteed ``<= 1 + ε``.
+    """
+
+    graph: WeightedGraph
+    exponents: np.ndarray
+    epsilon: float
+    bits_per_word: int
+    max_distortion: float
+
+
+def quantize_weights(g: WeightedGraph, epsilon: float) -> QuantizationReport:
+    """Round weights up to powers of ``1 + epsilon`` (relative to the
+    minimum weight).
+
+    Every distance in the returned graph is within a multiplicative
+    ``1 + epsilon`` of the original (and never smaller), so a ``σ``-stretch
+    spanner of the quantized graph is a ``σ(1+ε)``-stretch spanner of the
+    original.
+
+    Raises
+    ------
+    ValueError
+        If ``epsilon <= 0`` or the graph has no edges.
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if g.m == 0:
+        raise ValueError("cannot quantize an edgeless graph")
+    w = g.edges_w
+    w_min = float(w.min())
+    base = 1.0 + epsilon
+    # Exponent of the smallest power of (1+eps) >= w / w_min.
+    ratios = w / w_min
+    exps = np.ceil(np.log(ratios) / math.log(base) - 1e-12).astype(np.int64)
+    exps = np.maximum(exps, 0)
+    new_w = w_min * base ** exps.astype(np.float64)
+    # Guard against float rounding pushing a weight below the original.
+    low = new_w < w
+    if low.any():
+        exps[low] += 1
+        new_w = w_min * base ** exps.astype(np.float64)
+    quantized = g.reweighted(new_w)
+    bits = max(1, int(np.max(exps)).bit_length())
+    distortion = float((new_w / w).max())
+    return QuantizationReport(
+        graph=quantized,
+        exponents=exps,
+        epsilon=epsilon,
+        bits_per_word=bits,
+        max_distortion=distortion,
+    )

@@ -1,0 +1,26 @@
+"""MPC simulator: machine model, distributed tables, [GSZ11] primitives."""
+
+from .config import MPCConfig
+from .primitives import (
+    broadcast_scalar,
+    find_min_by_group,
+    join_lookup,
+    reduce_by_key,
+    segment_broadcast,
+    sort_table,
+)
+from .simulator import DistributedTable, MPCSimulator, MPCViolation, RoundLog
+
+__all__ = [
+    "MPCConfig",
+    "MPCSimulator",
+    "MPCViolation",
+    "RoundLog",
+    "DistributedTable",
+    "sort_table",
+    "find_min_by_group",
+    "reduce_by_key",
+    "segment_broadcast",
+    "join_lookup",
+    "broadcast_scalar",
+]

@@ -1,0 +1,97 @@
+"""MPC model configuration.
+
+The MPC model [KSV10, GSZ11, BKS13]: input of ``N`` words distributed over
+machines with local memory ``S = N^α`` (for graphs we parameterize by the
+vertex count: ``S = Θ(n^γ)``), all-to-all synchronous communication, and the
+per-round communication of each machine bounded by its memory.  The number
+of machines is ``Θ(N / S)`` and global memory ``Õ(N)``.
+
+:class:`MPCConfig` pins these quantities for a concrete run and provides the
+round-cost model for the [GSZ11] primitives: an aggregation/sorting tree
+with fan-out ``Θ(S)`` over ``P`` machines has
+``ceil(log(max(N, P)) / log(S))`` levels — the ``O(1/γ)`` factor in every
+bound of the paper's Section 6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["MPCConfig"]
+
+
+@dataclass(frozen=True)
+class MPCConfig:
+    """Machine-model parameters for one simulated MPC deployment.
+
+    Attributes
+    ----------
+    n:
+        Number of graph vertices (defines the memory regime).
+    gamma:
+        Local-memory exponent: machines hold ``machine_memory =
+        memory_constant * n^gamma`` words.
+    total_words:
+        Input size ``N`` in words (for a graph, ``Θ(m)``).
+    memory_constant:
+        Hidden constant in ``S = O(n^γ)``; the simulator *enforces*
+        ``S`` as a hard cap, so the constant must cover the paper's
+        constant-factor slack.
+    slack_factor:
+        Allowed global-memory blow-up (the ``Õ(m)`` tilde).
+    """
+
+    n: int
+    gamma: float
+    total_words: int
+    memory_constant: float = 8.0
+    slack_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("n must be positive")
+        if not 0 < self.gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        if self.total_words < 0:
+            raise ValueError("total_words must be non-negative")
+
+    @property
+    def machine_memory(self) -> int:
+        """Local memory ``S`` in words (hard cap enforced by the simulator)."""
+        return max(16, int(self.memory_constant * self.n**self.gamma))
+
+    @property
+    def num_machines(self) -> int:
+        """``Θ(N / S)`` machines, enough to hold the input plus slack."""
+        need = max(1, math.ceil(self.slack_factor * max(self.total_words, 1) / self.machine_memory))
+        return need
+
+    @property
+    def global_memory(self) -> int:
+        """Total memory across machines."""
+        return self.num_machines * self.machine_memory
+
+    def tree_levels(self) -> int:
+        """Levels of an ``S``-ary aggregation tree spanning all machines —
+        the ``O(1/γ)`` factor.  At least 1."""
+        if self.num_machines <= 1:
+            return 1
+        fanout = max(2, self.machine_memory)
+        return max(1, math.ceil(math.log(self.num_machines) / math.log(fanout)))
+
+    def rounds_for(self, primitive: str) -> int:
+        """Simulated round charge for one [GSZ11]-style primitive.
+
+        ``sort``, ``reduce_by_key``, ``segment_broadcast``, ``join`` each
+        cost one tree traversal plus one data-placement round;
+        ``map`` is free (local computation);
+        ``shuffle`` (pure repartition) costs one round.
+        """
+        if primitive == "map":
+            return 0
+        if primitive == "shuffle":
+            return 1
+        if primitive in {"sort", "reduce_by_key", "segment_broadcast", "join", "find_min"}:
+            return self.tree_levels() + 1
+        raise KeyError(f"unknown primitive {primitive!r}")

@@ -1,0 +1,15 @@
+"""Machine-level MPC implementations (Sections 6, 7, Appendix B.2.1)."""
+
+from .apsp import MPCApspResult, apsp_mpc
+from .ball_growing import BallGrowingResult, grow_balls_mpc
+from .nearlinear import spanner_mpc_nearlinear
+from .spanner_mpc import spanner_mpc
+
+__all__ = [
+    "spanner_mpc",
+    "spanner_mpc_nearlinear",
+    "apsp_mpc",
+    "MPCApspResult",
+    "grow_balls_mpc",
+    "BallGrowingResult",
+]

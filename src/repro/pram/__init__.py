@@ -1,0 +1,6 @@
+"""PRAM substrate: depth/work accounting for the Section 6 PRAM claim."""
+
+from .spanner_pram import spanner_pram
+from .tracker import PRAMLogEntry, PRAMTracker, log_star
+
+__all__ = ["PRAMTracker", "PRAMLogEntry", "log_star", "spanner_pram"]

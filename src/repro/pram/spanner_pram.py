@@ -1,0 +1,50 @@
+"""PRAM execution of the general spanner algorithm (Section 6, PRAM part).
+
+Runs the logical algorithm and charges the :class:`PRAMTracker` the
+primitives each iteration uses in [BS07]'s CRCW implementation: a hashing
+pass to bucket edges, a semisort to group them by (node, cluster), a
+generalized find-min per group, and a pointer-jumping merge to update
+cluster leaders.  Measured depth is therefore
+``Θ(iterations · log* n)`` — the paper's PRAM claim — and the bench
+compares it against the MPC iteration count directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.general_tradeoff import general_tradeoff
+from ..core.results import SpannerResult
+from ..graphs.graph import WeightedGraph
+from .tracker import PRAMTracker
+
+__all__ = ["spanner_pram"]
+
+
+def spanner_pram(
+    g: WeightedGraph,
+    k: int,
+    t: int | None = None,
+    *,
+    rng=None,
+) -> SpannerResult:
+    """Build the Theorem 1.1 spanner with PRAM depth/work accounting.
+
+    Returns the logical :class:`SpannerResult` with ``extra['pram']``
+    holding the tracker summary (``depth ≈ iterations · log* n``).
+    """
+    res = general_tradeoff(g, k, t, rng=rng)
+    tracker = PRAMTracker(max(g.n, 1))
+    for s in res.stats:
+        m = max(s.num_alive_edges, 1)
+        tracker.charge("hash", items=m)
+        tracker.charge("semisort", items=2 * m)
+        tracker.charge("find_min", items=2 * m)
+        tracker.charge("pointer_merge", items=s.num_clusters)
+        tracker.charge("local", items=m)
+    # Phase 2 is one more semisort + find-min over the leftovers.
+    tracker.charge("semisort", items=max(res.phase2_added, 1))
+    tracker.charge("find_min", items=max(res.phase2_added, 1))
+    res.extra["pram"] = tracker.summary()
+    res.algorithm = "spanner-pram"
+    return res

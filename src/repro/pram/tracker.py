@@ -1,0 +1,79 @@
+"""CRCW PRAM depth/work accounting (Section 6's PRAM claim).
+
+The paper's PRAM result: the MPC round structure carries over with depth
+equal to the MPC iteration count times a ``log* n`` factor from the
+primitives Baswana–Sen's PRAM implementation uses (hashing, semisorting,
+generalized find-min), plus an ``O(1)``-depth pointer-jumping merge.
+
+:class:`PRAMTracker` charges depth and work per primitive so the
+Section 6 bench can report measured depth ``O(iterations · log* n)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["log_star", "PRAMTracker", "PRAMLogEntry"]
+
+
+def log_star(n: float) -> int:
+    """Iterated logarithm (base 2); ``log*(2) = 1``, ``log*(65536) = 4``."""
+    if n < 2:
+        return 0
+    c = 0
+    x = float(n)
+    while x >= 2:
+        x = math.log2(x)
+        c += 1
+    return c
+
+
+@dataclass
+class PRAMLogEntry:
+    name: str
+    depth: int
+    work: int
+
+
+class PRAMTracker:
+    """Depth/work accountant for a CRCW PRAM execution.
+
+    Primitive costs follow [BS07]'s PRAM implementation as cited in
+    Section 6: ``hash``, ``semisort`` and ``find_min`` cost ``O(log* n)``
+    depth and linear work; ``pointer_merge`` (union of two leader-pointed
+    sets) costs ``O(1)`` depth and work linear in the smaller side;
+    ``local`` costs depth 1.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("n must be positive")
+        self.n = n
+        self.log_star_n = max(1, log_star(n))
+        self.depth = 0
+        self.work = 0
+        self.log: list[PRAMLogEntry] = []
+
+    def charge(self, primitive: str, *, items: int) -> None:
+        """Charge one primitive over ``items`` elements."""
+        if items < 0:
+            raise ValueError("items must be non-negative")
+        if primitive in {"hash", "semisort", "find_min"}:
+            d = self.log_star_n
+        elif primitive in {"pointer_merge", "local"}:
+            d = 1
+        else:
+            raise KeyError(f"unknown PRAM primitive {primitive!r}")
+        self.depth += d
+        self.work += max(items, 1)
+        self.log.append(PRAMLogEntry(primitive, d, max(items, 1)))
+
+    def summary(self) -> dict:
+        return {
+            "n": self.n,
+            "log_star_n": self.log_star_n,
+            "depth": self.depth,
+            "work": self.work,
+            "primitive_calls": len(self.log),
+        }

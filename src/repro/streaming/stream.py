@@ -1,0 +1,86 @@
+"""Multi-pass edge-stream substrate.
+
+Section 2.4 of the paper compares its contraction framework against
+contraction-based *dynamic stream* spanner algorithms ([AGM12]): "a pass
+corresponds to one round of communication in MPC".  This module provides
+the pass-accounting machinery: an :class:`EdgeStream` that replays a
+graph's edges in a fixed arbitrary order, chunk by chunk, counting passes;
+and a :class:`StreamStats` record of passes and peak per-pass working
+memory.
+
+The cross-pass state an algorithm may keep must be ``O(n)``-ish (cluster
+labels); the per-pass working set (e.g. running group minima) is measured
+and reported rather than enforced — the sketching machinery that squeezes
+it into ``O(n^{1+1/k})`` in the dynamic-stream literature is out of scope
+and documented as a substitution in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graphs.graph import WeightedGraph
+
+__all__ = ["EdgeStream", "StreamStats"]
+
+
+@dataclass
+class StreamStats:
+    """Accounting for one streaming execution."""
+
+    passes: int = 0
+    edges_streamed: int = 0
+    peak_working_records: int = 0
+    per_pass_working: list[int] = field(default_factory=list)
+
+    def record_pass(self, working_records: int) -> None:
+        self.passes += 1
+        self.peak_working_records = max(self.peak_working_records, working_records)
+        self.per_pass_working.append(working_records)
+
+
+class EdgeStream:
+    """Replays a graph's edge list in a fixed pseudo-random order.
+
+    Parameters
+    ----------
+    g:
+        The underlying graph.
+    chunk:
+        Edges yielded per chunk (models the stream buffer).
+    order_seed:
+        Seed for the arbitrary-but-fixed stream order; the same stream
+        must present edges in the same order on every pass.
+    """
+
+    def __init__(self, g: WeightedGraph, *, chunk: int = 4096, order_seed: int = 0) -> None:
+        if chunk < 1:
+            raise ValueError("chunk must be positive")
+        self.g = g
+        self.chunk = chunk
+        rng = np.random.default_rng(order_seed)
+        self._order = rng.permutation(g.m)
+        self.stats = StreamStats()
+
+    def __len__(self) -> int:
+        return self.g.m
+
+    def passes(self):
+        """Yield ``(u, v, w, eid)`` chunk arrays for one full pass.
+
+        Callers iterate this once per pass; pass accounting happens via
+        :meth:`end_pass` so the caller can report its working-set size.
+        """
+        g = self.g
+        for start in range(0, self._order.size, self.chunk):
+            idx = self._order[start : start + self.chunk]
+            self.stats.edges_streamed += idx.size
+            yield g.edges_u[idx], g.edges_v[idx], g.edges_w[idx], idx
+        if self._order.size == 0:
+            return
+
+    def end_pass(self, working_records: int) -> None:
+        """Close the books on one pass."""
+        self.stats.record_pass(int(working_records))

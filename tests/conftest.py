@@ -1,0 +1,67 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    WeightedGraph,
+    barabasi_albert,
+    erdos_renyi,
+    grid_graph,
+    ring_of_cliques,
+)
+
+
+@pytest.fixture
+def small_weighted() -> WeightedGraph:
+    """A 6-vertex hand-checkable weighted graph (two triangles + bridge)."""
+    return WeightedGraph.from_edges(
+        6,
+        [
+            (0, 1, 1.0),
+            (1, 2, 2.0),
+            (0, 2, 2.5),
+            (2, 3, 10.0),  # bridge
+            (3, 4, 1.0),
+            (4, 5, 2.0),
+            (3, 5, 2.5),
+        ],
+    )
+
+
+@pytest.fixture
+def er_weighted() -> WeightedGraph:
+    return erdos_renyi(150, 0.15, weights="uniform", rng=11)
+
+
+@pytest.fixture
+def er_unweighted() -> WeightedGraph:
+    return erdos_renyi(150, 0.12, rng=12)
+
+
+@pytest.fixture
+def ba_graph() -> WeightedGraph:
+    return barabasi_albert(120, 3, weights="exponential", rng=13)
+
+
+@pytest.fixture
+def grid() -> WeightedGraph:
+    return grid_graph(10, 12, weights="uniform", rng=14)
+
+
+@pytest.fixture
+def cliques() -> WeightedGraph:
+    return ring_of_cliques(6, 8, weights="uniform", rng=15)
+
+
+@pytest.fixture
+def disconnected() -> WeightedGraph:
+    """Two ER components plus isolated vertices."""
+    a = erdos_renyi(40, 0.3, weights="uniform", rng=16)
+    b = erdos_renyi(40, 0.3, weights="uniform", rng=17)
+    u = np.concatenate([a.edges_u, b.edges_u + 40])
+    v = np.concatenate([a.edges_v, b.edges_v + 40])
+    w = np.concatenate([a.edges_w, b.edges_w])
+    return WeightedGraph(85, u, v, w)  # vertices 80..84 isolated

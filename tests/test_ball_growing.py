@@ -1,0 +1,64 @@
+"""Tests for Appendix B.2.1 ball growing under MPC accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import bfs_hops, erdos_renyi, grid_graph, star_graph
+from repro.mpc_impl import grow_balls_mpc
+
+
+class TestBallGrowing:
+    def test_uncapped_balls_match_bfs(self):
+        g = grid_graph(8, 8)
+        radius = 4
+        res = grow_balls_mpc(g, radius, cap=10**6)
+        for v in (0, 20, 63):
+            h = bfs_hops(g, v)
+            expect = set(np.flatnonzero((h >= 0) & (h <= radius)).tolist())
+            # Doubling may overshoot hops (radius rounded up to a power of
+            # two), so the ball must at least contain the exact one.
+            assert expect <= set(res.balls[v].tolist())
+            assert res.complete[v]
+
+    def test_cap_marks_dense(self):
+        g = erdos_renyi(100, 0.3, rng=1)
+        res = grow_balls_mpc(g, 4, cap=8)
+        assert (~res.complete).sum() > 0
+        for v in range(g.n):
+            assert res.balls[v].size <= 8
+
+    def test_star_center_explosion_within_memory(self):
+        # The Appendix B.2.1 worked example: the star center is requested
+        # by everyone; total traffic must stay within O(n^{1+gamma}).
+        g = star_graph(300)
+        res = grow_balls_mpc(g, 4, gamma=0.5)
+        assert res.total_words <= res.memory_budget()
+        assert res.rounds > 0
+
+    def test_rounds_scale_with_log_radius(self):
+        g = grid_graph(10, 10)
+        r2 = grow_balls_mpc(g, 2, cap=10**6).rounds
+        r16 = grow_balls_mpc(g, 16, cap=10**6).rounds
+        assert r16 > r2
+
+    def test_radius_zero_and_one(self):
+        g = grid_graph(4, 4)
+        res = grow_balls_mpc(g, 1, cap=10**6)
+        for v in range(g.n):
+            expect = {v} | set(g.neighbors(v).tolist())
+            assert set(res.balls[v].tolist()) == expect
+
+    def test_rejects_negative_radius(self):
+        g = grid_graph(3, 3)
+        with pytest.raises(ValueError):
+            grow_balls_mpc(g, -1)
+
+    def test_ball_connected_subset(self):
+        # Even capped balls are connected supersets of small BFS balls.
+        g = erdos_renyi(80, 0.1, rng=2)
+        res = grow_balls_mpc(g, 8, cap=12)
+        for v in range(0, 80, 13):
+            ball = set(res.balls[v].tolist())
+            assert v in ball

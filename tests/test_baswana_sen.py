@@ -1,0 +1,127 @@
+"""Tests for the Baswana–Sen baseline: the exact (2k-1) stretch guarantee,
+the O(k n^{1+1/k}) size guarantee, and edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import baswana_sen, bs_size_bound, bs_stretch_bound
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    edge_stretch,
+    erdos_renyi,
+    is_spanning_subgraph,
+    random_tree,
+    same_components,
+    verify_spanner,
+)
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 6])
+def test_stretch_guarantee_er(er_weighted, k):
+    res = baswana_sen(er_weighted, k, rng=100 + k)
+    h = res.subgraph(er_weighted)
+    verify_spanner(er_weighted, h, stretch_bound=bs_stretch_bound(k))
+
+
+@pytest.mark.parametrize("k", [2, 3, 5])
+def test_stretch_guarantee_other_families(ba_graph, grid, cliques, k):
+    for g in (ba_graph, grid, cliques):
+        res = baswana_sen(g, k, rng=k)
+        verify_spanner(g, res.subgraph(g), stretch_bound=bs_stretch_bound(k))
+
+
+def test_size_guarantee(er_weighted):
+    # Expected size O(k n^{1+1/k}); generous constant, fixed seeds.
+    for k in (2, 3, 4):
+        res = baswana_sen(er_weighted, k, rng=k)
+        assert res.num_edges <= bs_size_bound(er_weighted.n, k)
+
+
+def test_iteration_count(er_weighted):
+    for k in (2, 5, 8):
+        res = baswana_sen(er_weighted, k, rng=0)
+        assert res.iterations == k - 1
+        assert len(res.stats) == k - 1
+
+
+def test_k1_returns_everything(er_weighted):
+    res = baswana_sen(er_weighted, 1, rng=0)
+    assert res.num_edges == er_weighted.m
+    assert edge_stretch(er_weighted, res.subgraph(er_weighted)).max_stretch == 1.0
+
+
+def test_k0_rejected(er_weighted):
+    with pytest.raises(ValueError):
+        baswana_sen(er_weighted, 0)
+
+
+def test_empty_graph():
+    from repro.graphs import WeightedGraph
+
+    g = WeightedGraph.from_edges(10, [])
+    res = baswana_sen(g, 3, rng=0)
+    assert res.num_edges == 0
+
+
+def test_tree_input_keeps_tree():
+    # A tree is its only spanner: nothing can be discarded without
+    # disconnecting, so the result must contain every tree edge.
+    g = random_tree(60, weights="uniform", rng=21)
+    res = baswana_sen(g, 4, rng=21)
+    assert res.num_edges == g.m
+
+
+def test_preserves_components(disconnected):
+    res = baswana_sen(disconnected, 3, rng=5)
+    assert same_components(disconnected, res.subgraph(disconnected))
+
+
+def test_complete_graph_sparsifies():
+    g = complete_graph(80, weights="uniform", rng=22)
+    res = baswana_sen(g, 3, rng=22)
+    assert res.num_edges < g.m / 2  # K80 has 3160 edges; spanner far smaller
+    verify_spanner(g, res.subgraph(g), stretch_bound=5.0)
+
+
+def test_cycle_graph_k2():
+    g = cycle_graph(50, weights="uniform", rng=23)
+    res = baswana_sen(g, 2, rng=23)
+    # A cycle is near-tree: at most one edge can be dropped, and only if
+    # the stretch bound allows it.
+    assert res.num_edges >= g.m - 1
+    verify_spanner(g, res.subgraph(g), stretch_bound=3.0)
+
+
+def test_result_is_subgraph_with_sorted_ids(er_weighted):
+    res = baswana_sen(er_weighted, 3, rng=9)
+    assert is_spanning_subgraph(er_weighted, res.subgraph(er_weighted))
+    assert np.all(np.diff(res.edge_ids) > 0)  # sorted unique
+
+
+def test_determinism_same_seed(er_weighted):
+    a = baswana_sen(er_weighted, 4, rng=77)
+    b = baswana_sen(er_weighted, 4, rng=77)
+    assert np.array_equal(a.edge_ids, b.edge_ids)
+
+
+def test_different_seeds_differ(er_weighted):
+    a = baswana_sen(er_weighted, 4, rng=1)
+    b = baswana_sen(er_weighted, 4, rng=2)
+    # Overwhelmingly likely to differ on a 150-vertex graph.
+    assert not np.array_equal(a.edge_ids, b.edge_ids)
+
+
+def test_weighted_stretch_uses_weights():
+    # Heavy edge must be spanned by light path: classic weighted case.
+    from repro.graphs import WeightedGraph
+
+    g = WeightedGraph.from_edges(
+        4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 100.0)]
+    )
+    res = baswana_sen(g, 2, rng=0)
+    h = res.subgraph(g)
+    rep = edge_stretch(g, h)
+    assert rep.max_stretch <= 3.0

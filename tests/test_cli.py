@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_graph, main
+
+
+class TestBuildGraph:
+    def test_er(self):
+        g = build_graph("er:50:0.2", seed=1)
+        assert g.n == 50
+
+    def test_ba(self):
+        g = build_graph("ba:40:2", seed=1)
+        assert g.n == 40
+
+    def test_grid(self):
+        assert build_graph("grid:4:5").n == 20
+
+    def test_geo(self):
+        assert build_graph("geo:30:0.5", seed=2).n == 30
+
+    def test_cliques(self):
+        assert build_graph("cliques:4:5").n == 20
+
+    def test_bad_family(self):
+        with pytest.raises(SystemExit):
+            build_graph("hypercube:4")
+
+    def test_bad_args(self):
+        with pytest.raises(SystemExit):
+            build_graph("er:notanint:0.5")
+
+
+class TestCommands:
+    def test_spanner_all_algorithms(self, capsys):
+        for algo in ("baswana-sen", "cluster-merging", "two-phase", "general", "streaming"):
+            rc = main(
+                ["spanner", "--graph", "er:80:0.2", "--algorithm", algo, "-k", "3", "--seed", "1"]
+            )
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "stretch: max" in out
+
+    def test_spanner_unweighted(self, capsys):
+        rc = main(["spanner", "--graph", "er:60:0.2", "--algorithm", "unweighted", "-k", "2"])
+        assert rc == 0
+        assert "spanner:" in capsys.readouterr().out
+
+    def test_apsp_mpc(self, capsys):
+        rc = main(["apsp", "--graph", "er:60:0.2", "--model", "mpc"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rounds:" in out and "approximation" in out
+
+    def test_apsp_cc(self, capsys):
+        rc = main(["apsp", "--graph", "er:60:0.2", "--model", "cc", "--weights", "integer"])
+        assert rc == 0
+        assert "rounds:" in capsys.readouterr().out
+
+    def test_tradeoff(self, capsys):
+        rc = main(["tradeoff", "-k", "9"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "t=1" in out and "k^" in out
+
+    def test_mpc(self, capsys):
+        rc = main(["mpc", "--graph", "er:80:0.15", "-k", "4", "-t", "2", "--gamma", "0.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "machines:" in out and "simulated rounds:" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

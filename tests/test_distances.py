@@ -1,0 +1,157 @@
+"""Unit tests for repro.graphs.distances (exact ground truth)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    WeightedGraph,
+    apsp,
+    bfs_hops,
+    connected_components,
+    eccentricity,
+    erdos_renyi,
+    k_hop_ball,
+    pairwise_distances,
+    path_graph,
+    same_components,
+    sssp,
+    sssp_reference,
+)
+
+
+class TestSSSP:
+    def test_matches_reference(self, er_weighted):
+        for s in (0, 7, 33):
+            assert np.allclose(sssp(er_weighted, s), sssp_reference(er_weighted, s))
+
+    def test_matches_networkx(self, small_weighted):
+        d = sssp(small_weighted, 0)
+        nxd = nx.single_source_dijkstra_path_length(
+            small_weighted.to_networkx(), 0
+        )
+        for v, dv in nxd.items():
+            assert d[v] == pytest.approx(dv)
+
+    def test_unreachable_inf(self, disconnected):
+        d = sssp(disconnected, 0)
+        assert np.isinf(d[50])
+        assert np.isfinite(d[10])
+
+    def test_source_zero_distance(self, er_weighted):
+        assert sssp(er_weighted, 5)[5] == 0.0
+
+    def test_bad_source(self, small_weighted):
+        with pytest.raises(ValueError):
+            sssp(small_weighted, 99)
+        with pytest.raises(ValueError):
+            sssp_reference(small_weighted, -1)
+
+    def test_empty_graph(self):
+        g = WeightedGraph.from_edges(3, [])
+        d = sssp(g, 1)
+        assert d[1] == 0.0 and np.isinf(d[0]) and np.isinf(d[2])
+
+
+class TestAPSP:
+    def test_symmetric_and_consistent(self, small_weighted):
+        d = apsp(small_weighted)
+        assert np.allclose(d, d.T)
+        for s in range(small_weighted.n):
+            assert np.allclose(d[s], sssp(small_weighted, s))
+
+    def test_triangle_inequality(self, er_weighted):
+        d = apsp(er_weighted)
+        # spot check triangle inequality on a sample
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            a, b, c = rng.integers(0, er_weighted.n, 3)
+            assert d[a, c] <= d[a, b] + d[b, c] + 1e-9
+
+
+class TestPairwise:
+    def test_matches_apsp(self, er_weighted):
+        d = apsp(er_weighted)
+        rng = np.random.default_rng(1)
+        pairs = rng.integers(0, er_weighted.n, size=(60, 2))
+        got = pairwise_distances(er_weighted, pairs)
+        assert np.allclose(got, d[pairs[:, 0], pairs[:, 1]])
+
+    def test_empty_pairs(self, er_weighted):
+        assert pairwise_distances(er_weighted, np.zeros((0, 2), dtype=int)).size == 0
+
+
+class TestBFS:
+    def test_path_graph_levels(self):
+        g = path_graph(6)
+        assert bfs_hops(g, 0).tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_unreachable_minus_one(self, disconnected):
+        h = bfs_hops(disconnected, 0)
+        assert h[60] == -1 and h[0] == 0
+
+    def test_matches_unweighted_sssp(self, er_unweighted):
+        h = bfs_hops(er_unweighted, 3)
+        d = sssp(er_unweighted, 3)
+        finite = np.isfinite(d)
+        assert np.array_equal(h[finite], d[finite].astype(np.int64))
+        assert np.all(h[~finite] == -1)
+
+    def test_bad_source(self, er_unweighted):
+        with pytest.raises(ValueError):
+            bfs_hops(er_unweighted, 10**6)
+
+
+class TestKHopBall:
+    def test_zero_hops(self, er_unweighted):
+        assert k_hop_ball(er_unweighted, 4, 0).tolist() == [4]
+
+    def test_matches_bfs_levels(self, er_unweighted):
+        ball = set(k_hop_ball(er_unweighted, 0, 2).tolist())
+        h = bfs_hops(er_unweighted, 0)
+        expect = set(np.flatnonzero((h >= 0) & (h <= 2)).tolist())
+        assert ball == expect
+
+    def test_cap_truncates(self, er_unweighted):
+        ball = k_hop_ball(er_unweighted, 0, 10, cap=5)
+        assert ball.size == 5
+
+    def test_negative_hops(self, er_unweighted):
+        with pytest.raises(ValueError):
+            k_hop_ball(er_unweighted, 0, -1)
+
+
+class TestComponents:
+    def test_labels_consistent(self, disconnected):
+        labels = connected_components(disconnected)
+        assert labels[0] == labels[10]
+        assert labels[0] != labels[45]
+        # isolated vertices get their own labels
+        assert labels[80] != labels[0] and labels[80] != labels[45]
+
+    def test_same_components_true(self, er_weighted):
+        assert same_components(er_weighted, er_weighted)
+
+    def test_same_components_false(self, small_weighted):
+        # removing the bridge splits the graph
+        h = small_weighted.subgraph_from_edge_ids(
+            [i for i, (a, b, w) in enumerate(small_weighted.edge_tuples()) if w != 10.0]
+        )
+        assert not same_components(small_weighted, h)
+
+    def test_empty_graph_components(self):
+        g = WeightedGraph.from_edges(4, [])
+        assert connected_components(g).tolist() == [0, 1, 2, 3]
+
+
+class TestEccentricity:
+    def test_path(self):
+        g = path_graph(5)
+        assert eccentricity(g, 0) == pytest.approx(4.0)
+        assert eccentricity(g, 2) == pytest.approx(2.0)
+
+    def test_isolated(self):
+        g = WeightedGraph.from_edges(3, [])
+        assert eccentricity(g, 0) == 0.0

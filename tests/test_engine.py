@@ -1,0 +1,219 @@
+"""Unit tests for the shared growth-iteration engine (repro.core.engine).
+
+These tests pin down the Baswana–Sen iteration semantics that all four
+algorithms share: simultaneous processing, the strictly-closer rule, the
+invariant that alive edges always join distinct live clusters (Lemmas 3.2 /
+4.7 / 5.6), and the behaviour at the probability extremes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EdgeSet, phase2_edges, run_growth_iterations
+from repro.graphs import WeightedGraph, erdos_renyi
+
+
+def _edges_from_graph(g: WeightedGraph) -> EdgeSet:
+    return EdgeSet.from_arrays(g.n, g.edges_u, g.edges_v, g.edges_w)
+
+
+def _check_invariant(edges: EdgeSet, labels: np.ndarray) -> None:
+    """Every alive edge joins two distinct live clusters."""
+    eu, ev, _, _ = edges.alive_view()
+    assert np.all(labels[eu] >= 0)
+    assert np.all(labels[ev] >= 0)
+    assert np.all(labels[eu] != labels[ev])
+
+
+class TestEdgeSet:
+    def test_alive_view_shrinks(self, er_weighted):
+        es = _edges_from_graph(er_weighted)
+        es.alive[:10] = False
+        assert es.num_alive == er_weighted.m - 10
+        assert es.alive_view()[0].size == er_weighted.m - 10
+
+    def test_default_eids_positional(self, small_weighted):
+        es = _edges_from_graph(small_weighted)
+        assert es.eid.tolist() == list(range(small_weighted.m))
+
+
+class TestProbabilityExtremes:
+    def test_p_one_everything_stays_clustered(self, er_weighted):
+        es = _edges_from_graph(er_weighted)
+        out = run_growth_iterations(
+            es, iterations=1, probability=1.0, rng=np.random.default_rng(0)
+        )
+        # All singleton clusters sampled: nobody processes, nothing added.
+        assert np.array_equal(out.labels, np.arange(er_weighted.n))
+        assert out.spanner_eids.size == 0
+        assert es.num_alive == er_weighted.m
+
+    def test_p_zero_one_iteration_adds_min_per_neighbor(self):
+        # Star: center 0, leaves 1..4. With p=0 everybody retires and each
+        # vertex adds the min edge to each neighboring singleton cluster =
+        # every star edge.
+        g = WeightedGraph.from_edges(5, [(0, i, float(i)) for i in range(1, 5)])
+        es = _edges_from_graph(g)
+        out = run_growth_iterations(
+            es, iterations=1, probability=0.0, rng=np.random.default_rng(0)
+        )
+        assert np.all(out.labels == -1)
+        assert set(out.spanner_eids.tolist()) == set(range(4))
+        assert es.num_alive == 0
+
+    def test_p_zero_triangle_keeps_all(self):
+        # In a triangle of singletons with p=0, every vertex connects to
+        # both neighbor clusters: the whole triangle enters the spanner.
+        g = WeightedGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])
+        es = _edges_from_graph(g)
+        out = run_growth_iterations(
+            es, iterations=1, probability=0.0, rng=np.random.default_rng(0)
+        )
+        assert out.spanner_eids.size == 3
+
+    def test_bad_probability_raises(self, small_weighted):
+        es = _edges_from_graph(small_weighted)
+        with pytest.raises(ValueError):
+            run_growth_iterations(
+                es, iterations=1, probability=1.5, rng=np.random.default_rng(0)
+            )
+
+
+class TestJoinSemantics:
+    def test_joins_closest_sampled_cluster(self):
+        # Vertex 2 adjacent to clusters {0} (w=5) and {1} (w=1); force both
+        # sampled via p=1 after seeding... instead drive sampling manually:
+        # use start_labels and p chosen so rng samples both 0 and 1.
+        g = WeightedGraph.from_edges(3, [(0, 2, 5.0), (1, 2, 1.0)])
+        es = _edges_from_graph(g)
+        # With p=0.9 and seed 1 both clusters 0,1 and 2 likely sampled; use
+        # a deterministic trick: probability callable that returns 1.0 means
+        # nobody processes. We want 0 and 1 sampled but not 2 — craft rng.
+        class FakeRng:
+            def __init__(self):
+                self.calls = 0
+
+            def random(self, size):
+                # clusters enumerated as sorted unique labels [0, 1, 2]
+                return np.array([0.0, 0.0, 0.99])[:size]
+
+        out = run_growth_iterations(
+            es, iterations=1, probability=0.5, rng=FakeRng()  # type: ignore[arg-type]
+        )
+        # Vertex 2 joins cluster 1 (closer), adding edge (1,2).
+        assert out.labels[2] == 1
+        eid_12 = 1 if g.edges_w[1] == 1.0 else 0
+        assert eid_12 in out.spanner_eids.tolist()
+
+    def test_strictly_closer_rule(self):
+        # v=3 adjacent to sampled cluster {0} with w=2, unsampled {1} w=1,
+        # unsampled {2} w=3.  v joins 0; must also connect to {1} (strictly
+        # closer) but NOT to {2}.  Vertex 2 is given its own cheap edge to
+        # the sampled cluster so it joins rather than retiring (a retiring
+        # vertex would add (2,3) from its own side).
+        g = WeightedGraph.from_edges(
+            4, [(0, 3, 2.0), (1, 3, 1.0), (2, 3, 3.0), (0, 2, 0.5)]
+        )
+        es = _edges_from_graph(g)
+
+        class FakeRng:
+            def random(self, size):
+                # clusters sorted: [0,1,2,3]; only 0 sampled
+                return np.array([0.0, 0.99, 0.99, 0.99])[:size]
+
+        out = run_growth_iterations(es, iterations=1, probability=0.5, rng=FakeRng())  # type: ignore[arg-type]
+        idx = g.edge_index_map()
+        added = set(out.spanner_eids.tolist())
+        assert idx[(0, 3)] in added
+        assert idx[(1, 3)] in added  # strictly closer than the join edge
+        assert idx[(0, 2)] in added  # vertex 2's join edge
+        assert idx[(2, 3)] not in added  # not closer from either side
+        # 2 and 3 both joined cluster 0, so (2,3) died as intra-cluster.
+        assert out.labels[2] == 0 and out.labels[3] == 0
+        assert not es.alive[idx[(2, 3)]]
+
+    def test_invariant_after_each_iteration(self, er_weighted):
+        rng = np.random.default_rng(5)
+        es = _edges_from_graph(er_weighted)
+        labels = None
+        radius = None
+        p = er_weighted.n ** (-1.0 / 4)
+        for _ in range(3):
+            out = run_growth_iterations(
+                es,
+                iterations=1,
+                probability=p,
+                rng=rng,
+                start_labels=labels,
+                node_radius=radius,
+            )
+            labels = out.labels
+            radius = out.radius_bound
+            _check_invariant(es, labels)
+
+    def test_multi_iteration_equals_chained_single(self, er_weighted):
+        # Same rng stream => identical outcomes whether we ask for 3
+        # iterations at once or chain 3 single-iteration calls.
+        p = er_weighted.n ** (-1.0 / 4)
+        es1 = _edges_from_graph(er_weighted)
+        out1 = run_growth_iterations(
+            es1, iterations=3, probability=p, rng=np.random.default_rng(9)
+        )
+        es2 = _edges_from_graph(er_weighted)
+        rng = np.random.default_rng(9)
+        labels = None
+        for _ in range(3):
+            out2 = run_growth_iterations(
+                es2, iterations=1, probability=p, rng=rng, start_labels=labels
+            )
+            labels = out2.labels
+        assert np.array_equal(out1.labels, labels)
+        assert np.array_equal(es1.alive, es2.alive)
+
+    def test_stats_recorded(self, er_weighted):
+        es = _edges_from_graph(er_weighted)
+        out = run_growth_iterations(
+            es, iterations=2, probability=0.5, rng=np.random.default_rng(3), epoch=7
+        )
+        assert len(out.stats) == 2
+        assert all(s.epoch == 7 for s in out.stats)
+        assert out.stats[0].num_clusters == er_weighted.n
+
+    def test_radius_bound_monotone(self, er_weighted):
+        es = _edges_from_graph(er_weighted)
+        out = run_growth_iterations(
+            es, iterations=4, probability=0.3, rng=np.random.default_rng(4)
+        )
+        bounds = [s.max_radius_bound for s in out.stats]
+        assert all(b2 >= b1 for b1, b2 in zip(bounds, bounds[1:]))
+
+
+class TestPhase2:
+    def test_groups_min_edge(self):
+        # Two clusters {0,1} and {2,3}; three inter edges; each endpoint
+        # adds the min edge toward the other cluster.
+        g = WeightedGraph.from_edges(
+            4, [(0, 2, 3.0), (0, 3, 1.0), (1, 2, 2.0)]
+        )
+        es = _edges_from_graph(g)
+        labels = np.array([0, 0, 2, 2])
+        got = set(phase2_edges(es, labels).tolist())
+        idx = g.edge_index_map()
+        # vertex 0 -> cluster 2: min is (0,3); vertex 1 -> (1,2);
+        # vertex 2 -> cluster 0: min is (1,2); vertex 3 -> (0,3).
+        assert got == {idx[(0, 3)], idx[(1, 2)]}
+        assert es.num_alive == 0
+
+    def test_rejects_unclustered_endpoint(self, small_weighted):
+        es = _edges_from_graph(small_weighted)
+        labels = np.full(small_weighted.n, -1, dtype=np.int64)
+        with pytest.raises(AssertionError, match="Lemma 5.6"):
+            phase2_edges(es, labels)
+
+    def test_empty_ok(self, small_weighted):
+        es = _edges_from_graph(small_weighted)
+        es.alive[:] = False
+        out = phase2_edges(es, np.zeros(small_weighted.n, dtype=np.int64))
+        assert out.size == 0

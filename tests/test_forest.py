@@ -1,0 +1,105 @@
+"""Tests for the exact cluster forests (repro.core.forest)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import cluster_merging
+from repro.core.forest import ClusterForest, forest_stats, reroot
+from repro.graphs import WeightedGraph, erdos_renyi
+
+
+class TestReroot:
+    def test_reroot_path(self):
+        # Path tree 0 <- 1 <- 2 (root 0); re-root at 2.
+        g = WeightedGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        f = ClusterForest.singletons(3)
+        idx = g.edge_index_map()
+        f.parent[1] = 0
+        f.parent_eid[1] = idx[(0, 1)]
+        f.parent[2] = 1
+        f.parent_eid[2] = idx[(1, 2)]
+        reroot(f, 2)
+        assert f.parent[2] == -1
+        assert f.parent[1] == 2
+        assert f.parent[0] == 1
+        stats = forest_stats(g, np.zeros(3, dtype=np.int64), f)
+        assert stats[0].root == 2
+        assert stats[0].hop_radius == 2
+
+    def test_reroot_at_root_noop(self):
+        f = ClusterForest.singletons(2)
+        reroot(f, 0)
+        assert f.parent[0] == -1
+
+
+class TestForestStats:
+    def test_singletons(self):
+        g = WeightedGraph.from_edges(3, [])
+        f = ClusterForest.singletons(3)
+        stats = forest_stats(g, np.arange(3), f)
+        assert all(s.hop_radius == 0 and s.size == 1 for s in stats.values())
+
+    def test_detects_cross_cluster_pointer(self):
+        g = WeightedGraph.from_edges(2, [(0, 1, 1.0)])
+        f = ClusterForest.singletons(2)
+        f.parent[1] = 0
+        f.parent_eid[1] = 0
+        labels = np.array([0, 1])  # but the pointer crosses clusters
+        with pytest.raises(AssertionError, match="crosses clusters"):
+            forest_stats(g, labels, f)
+
+    def test_detects_fake_edge(self):
+        g = WeightedGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        idx = g.edge_index_map()
+        f = ClusterForest.singletons(3)
+        f.parent[2] = 0  # claims (0,2) but uses edge (0,1)
+        f.parent_eid[2] = idx[(0, 1)]
+        with pytest.raises(AssertionError, match="does not join"):
+            forest_stats(g, np.zeros(3, dtype=np.int64), f)
+
+
+class TestClusterMergingForest:
+    @pytest.fixture(scope="class")
+    def run(self):
+        g = erdos_renyi(250, 0.12, weights="uniform", rng=77)
+        res = cluster_merging(g, 8, rng=77, track_forest=True)
+        return g, res
+
+    def test_tree_edges_subset_of_spanner(self, run):
+        g, res = run
+        forest = res.extra["forest"]
+        assert set(forest.edge_ids().tolist()) <= set(res.edge_ids.tolist())
+
+    def test_one_tree_per_cluster_rooted_at_seed(self, run):
+        g, res = run
+        labels = res.extra["final_labels"]
+        stats = forest_stats(g, labels, res.extra["forest"])
+        for c, s in stats.items():
+            assert s.root == c  # the cluster center is the surviving seed
+
+    def test_measured_radius_within_theorem_4_8(self, run):
+        g, res = run
+        labels = res.extra["final_labels"]
+        stats = forest_stats(g, labels, res.extra["forest"])
+        epochs = res.iterations
+        bound = (3.0**epochs - 1) / 2
+        for s in stats.values():
+            assert s.hop_radius <= bound + 1e-9
+
+    def test_measured_radius_below_recurrence_bound(self, run):
+        g, res = run
+        labels = res.extra["final_labels"]
+        stats = forest_stats(g, labels, res.extra["forest"])
+        measured = max(s.hop_radius for s in stats.values())
+        tracked = max(s.max_radius_bound for s in res.stats)
+        assert measured <= tracked + 1e-9
+
+    def test_forest_result_same_spanner_as_untracked(self):
+        g = erdos_renyi(150, 0.15, weights="uniform", rng=78)
+        a = cluster_merging(g, 8, rng=5, track_forest=True)
+        b = cluster_merging(g, 8, rng=5, track_forest=False)
+        assert np.array_equal(a.edge_ids, b.edge_ids)

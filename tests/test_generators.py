@@ -1,0 +1,184 @@
+"""Unit tests for repro.graphs.generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    barabasi_albert,
+    complete_graph,
+    connected_components,
+    cycle_graph,
+    double_cycle,
+    draw_weights,
+    erdos_renyi,
+    gnm_random,
+    grid_graph,
+    hard_girth_instance,
+    path_graph,
+    random_geometric,
+    random_tree,
+    ring_of_cliques,
+    star_graph,
+    torus_graph,
+)
+
+
+class TestDrawWeights:
+    @pytest.mark.parametrize("model", ["unit", "uniform", "exponential", "powerlaw", "integer"])
+    def test_positive_finite(self, model):
+        w = draw_weights(500, model, rng=0)
+        assert w.shape == (500,)
+        assert np.all(w > 0) and np.all(np.isfinite(w))
+
+    def test_unit_is_ones(self):
+        assert np.all(draw_weights(10, "unit") == 1.0)
+
+    def test_uniform_range(self):
+        w = draw_weights(1000, "uniform", rng=1, low=2.0, high=3.0)
+        assert w.min() >= 2.0 and w.max() <= 3.0
+
+    def test_integer_values(self):
+        w = draw_weights(100, "integer", rng=2, low=1, high=5)
+        assert np.all(w == np.round(w))
+        assert w.min() >= 1 and w.max() <= 5
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            draw_weights(3, "nope")  # type: ignore[arg-type]
+
+
+class TestErdosRenyi:
+    def test_determinism(self):
+        assert erdos_renyi(50, 0.2, rng=3) == erdos_renyi(50, 0.2, rng=3)
+
+    def test_p_zero_and_one(self):
+        assert erdos_renyi(20, 0.0, rng=0).m == 0
+        assert erdos_renyi(20, 1.0, rng=0).m == 190
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)
+
+    def test_expected_density(self):
+        g = erdos_renyi(200, 0.1, rng=4)
+        expect = 0.1 * 200 * 199 / 2
+        assert 0.8 * expect < g.m < 1.2 * expect
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = gnm_random(60, 200, rng=5)
+        assert g.m == 200
+
+    def test_edges_valid(self):
+        g = gnm_random(30, 100, rng=6)
+        assert g.edges_u.min() >= 0 and g.edges_v.max() < 30
+        assert np.all(g.edges_u < g.edges_v)
+
+    def test_rejects_too_many(self):
+        with pytest.raises(ValueError):
+            gnm_random(5, 100)
+
+
+class TestStructured:
+    def test_grid_counts(self):
+        g = grid_graph(4, 7)
+        assert g.n == 28
+        assert g.m == 4 * 6 + 3 * 7  # horizontal + vertical
+
+    def test_torus_regular(self):
+        g = torus_graph(5, 6)
+        assert g.n == 30
+        assert np.all(g.degree() == 4)
+
+    def test_ring_of_cliques(self):
+        g = ring_of_cliques(4, 5)
+        assert g.n == 20
+        assert g.m == 4 * 10 + 4  # 4 K5s + 4 bridges
+        assert connected_components(g).max() == 0
+
+    def test_complete(self):
+        g = complete_graph(7)
+        assert g.m == 21
+
+    def test_cycle(self):
+        g = cycle_graph(9)
+        assert g.m == 9
+        assert np.all(g.degree() == 2)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_double_cycle_components(self):
+        g = double_cycle(20)
+        labels = connected_components(g)
+        assert len(set(labels.tolist())) == 2
+
+    def test_double_cycle_validation(self):
+        with pytest.raises(ValueError):
+            double_cycle(7)
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.m == 4
+
+    def test_star(self):
+        g = star_graph(11)
+        assert g.degree(0) == 10
+
+    def test_random_tree_is_tree(self):
+        g = random_tree(40, rng=7)
+        assert g.m == 39
+        assert connected_components(g).max() == 0
+
+    def test_random_tree_singleton(self):
+        assert random_tree(1).m == 0
+
+
+class TestBarabasiAlbert:
+    def test_size(self):
+        g = barabasi_albert(80, 3, rng=8)
+        assert g.n == 80
+        assert g.m >= 77  # at least a connected backbone
+
+    def test_connected(self):
+        g = barabasi_albert(60, 2, rng=9)
+        assert connected_components(g).max() == 0
+
+    def test_rejects_bad_attach(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 10)
+
+    def test_skewed_degrees(self):
+        g = barabasi_albert(300, 2, rng=10)
+        degs = np.sort(g.degree())[::-1]
+        assert degs[0] > 4 * np.median(degs)
+
+
+class TestGeometric:
+    def test_radius_zero(self):
+        assert random_geometric(30, 0.0, rng=11).m == 0
+
+    def test_radius_full(self):
+        g = random_geometric(20, 2.0, rng=12)
+        assert g.m == 190
+
+    def test_weighted_by_length(self):
+        g = random_geometric(50, 0.4, weights="uniform", rng=13)
+        assert np.all(g.edges_w > 0)
+
+
+class TestHardGirth:
+    def test_density_scales_with_k(self):
+        g2 = hard_girth_instance(200, 2, rng=14)
+        g6 = hard_girth_instance(200, 6, rng=14)
+        assert g2.m > g6.m  # smaller k => denser target n^{1+1/k}
+
+    def test_at_least_tree_density(self):
+        g = hard_girth_instance(100, 10, rng=15)
+        assert g.m >= 99

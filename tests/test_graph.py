@@ -1,0 +1,171 @@
+"""Unit tests for repro.graphs.graph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import WeightedGraph, canonical_edges, dedupe_edges
+
+
+class TestCanonicalEdges:
+    def test_orders_endpoints(self):
+        lo, hi, w = canonical_edges(
+            np.array([3, 1]), np.array([1, 2]), np.array([1.0, 2.0])
+        )
+        assert lo.tolist() == [1, 1]
+        assert hi.tolist() == [3, 2]
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self loop"):
+            canonical_edges(np.array([1]), np.array([1]), np.array([1.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="equal shapes"):
+            canonical_edges(np.array([1, 2]), np.array([3]), np.array([1.0]))
+
+    def test_empty(self):
+        lo, hi, w = canonical_edges(np.array([]), np.array([]), np.array([]))
+        assert lo.size == 0
+
+
+class TestDedupeEdges:
+    def test_keeps_min_weight(self):
+        lo, hi, w = dedupe_edges(
+            np.array([0, 1, 0]), np.array([1, 0, 1]), np.array([5.0, 2.0, 7.0])
+        )
+        assert lo.tolist() == [0]
+        assert hi.tolist() == [1]
+        assert w.tolist() == [2.0]
+
+    def test_preserves_distinct(self):
+        lo, hi, w = dedupe_edges(
+            np.array([0, 1, 2]), np.array([1, 2, 3]), np.array([1.0, 2.0, 3.0])
+        )
+        assert lo.size == 3
+
+    def test_idempotent(self):
+        u = np.array([0, 2, 0, 3])
+        v = np.array([1, 1, 1, 2])
+        w = np.array([3.0, 1.0, 2.0, 5.0])
+        once = dedupe_edges(u, v, w)
+        twice = dedupe_edges(*once)
+        for a, b in zip(once, twice):
+            assert np.array_equal(a, b)
+
+
+class TestWeightedGraphConstruction:
+    def test_basic(self, small_weighted):
+        assert small_weighted.n == 6
+        assert small_weighted.m == 7
+
+    def test_rejects_negative_n(self):
+        z = np.zeros(0, dtype=np.int64)
+        with pytest.raises(ValueError):
+            WeightedGraph(-1, z, z, np.zeros(0))
+
+    def test_rejects_out_of_range_endpoint(self):
+        with pytest.raises(ValueError, match="out of range"):
+            WeightedGraph.from_edges(2, [(0, 5, 1.0)])
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError, match="positive"):
+            WeightedGraph.from_edges(3, [(0, 1, 0.0)])
+
+    def test_rejects_infinite_weight(self):
+        with pytest.raises(ValueError, match="positive"):
+            WeightedGraph.from_edges(3, [(0, 1, float("inf"))])
+
+    def test_collapses_parallel_edges(self):
+        g = WeightedGraph.from_edges(3, [(0, 1, 5.0), (1, 0, 2.0)])
+        assert g.m == 1
+        assert g.edges_w[0] == 2.0
+
+    def test_empty_graph(self):
+        g = WeightedGraph.from_edges(5, [])
+        assert g.n == 5 and g.m == 0
+        assert g.degree(0) == 0
+
+    def test_zero_vertices(self):
+        g = WeightedGraph.from_edges(0, [])
+        assert g.n == 0 and g.m == 0
+
+    def test_unweighted_constructor(self):
+        g = WeightedGraph.from_unweighted_edges(4, [(0, 1), (2, 3)])
+        assert g.is_unweighted
+        assert g.m == 2
+
+    def test_equality(self, small_weighted):
+        other = WeightedGraph(
+            6,
+            small_weighted.edges_u,
+            small_weighted.edges_v,
+            small_weighted.edges_w,
+        )
+        assert small_weighted == other
+        assert small_weighted != WeightedGraph.from_edges(6, [(0, 1, 1.0)])
+
+
+class TestAdjacency:
+    def test_neighbors(self, small_weighted):
+        assert sorted(small_weighted.neighbors(2).tolist()) == [0, 1, 3]
+
+    def test_degree_array(self, small_weighted):
+        degs = small_weighted.degree()
+        assert degs.sum() == 2 * small_weighted.m
+        assert degs[2] == 3
+
+    def test_incident_weights_match_neighbors(self, small_weighted):
+        nb = small_weighted.neighbors(0)
+        ws = small_weighted.incident_weights(0)
+        expect = {1: 1.0, 2: 2.5}
+        assert {int(a): float(b) for a, b in zip(nb, ws)} == expect
+
+    def test_incident_edge_ids_roundtrip(self, er_weighted):
+        g = er_weighted
+        for x in (0, 5, 17):
+            for y, eid in zip(g.neighbors(x), g.incident_edge_ids(x)):
+                a, b = g.edges_u[eid], g.edges_v[eid]
+                assert {int(a), int(b)} == {x, int(y)}
+
+
+class TestConversions:
+    def test_scipy_symmetric(self, small_weighted):
+        m = small_weighted.to_scipy()
+        assert (m != m.T).nnz == 0
+
+    def test_networkx_roundtrip(self, er_weighted):
+        g2 = WeightedGraph.from_networkx(er_weighted.to_networkx())
+        assert g2 == er_weighted
+
+    def test_subgraph_from_edge_ids(self, small_weighted):
+        h = small_weighted.subgraph_from_edge_ids([0, 3])
+        assert h.n == small_weighted.n
+        assert h.m == 2
+        assert small_weighted.has_edge_subset(h)
+
+    def test_subgraph_rejects_bad_id(self, small_weighted):
+        with pytest.raises(ValueError):
+            small_weighted.subgraph_from_edge_ids([100])
+
+    def test_subgraph_dedupes_ids(self, small_weighted):
+        h = small_weighted.subgraph_from_edge_ids([1, 1, 1])
+        assert h.m == 1
+
+    def test_edge_index_map(self, small_weighted):
+        idx = small_weighted.edge_index_map()
+        for i, (a, b, _) in enumerate(small_weighted.edge_tuples()):
+            assert idx[(a, b)] == i
+
+    def test_reweighted(self, small_weighted):
+        w = np.full(small_weighted.m, 3.0)
+        h = small_weighted.reweighted(w)
+        assert np.all(h.edges_w == 3.0)
+        assert h.m == small_weighted.m
+
+    def test_reweighted_shape_check(self, small_weighted):
+        with pytest.raises(ValueError):
+            small_weighted.reweighted(np.ones(2))
+
+    def test_total_weight(self, small_weighted):
+        assert small_weighted.total_weight() == pytest.approx(21.0)

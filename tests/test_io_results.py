@@ -1,0 +1,107 @@
+"""Tests for graph IO and the SpannerResult record."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import baswana_sen, general_tradeoff
+from repro.core.results import IterationStats, SpannerResult
+from repro.graphs import WeightedGraph, erdos_renyi
+from repro.graphs.io import read_edgelist, write_edgelist
+
+
+class TestEdgelistIO:
+    def test_roundtrip(self, tmp_path, er_weighted):
+        p = tmp_path / "g.edges"
+        write_edgelist(er_weighted, p)
+        g2 = read_edgelist(p)
+        assert g2 == er_weighted
+
+    def test_roundtrip_preserves_isolated_vertices(self, tmp_path):
+        g = WeightedGraph.from_edges(10, [(0, 1, 2.5)])
+        p = tmp_path / "g.edges"
+        write_edgelist(g, p)
+        assert read_edgelist(p).n == 10
+
+    def test_reads_headerless_unweighted(self, tmp_path):
+        p = tmp_path / "g.edges"
+        p.write_text("0 1\n1 2\n")
+        g = read_edgelist(p)
+        assert g.n == 3 and g.m == 2 and g.is_unweighted
+
+    def test_rejects_malformed_line(self, tmp_path):
+        p = tmp_path / "g.edges"
+        p.write_text("0 1 2.0 extra\n")
+        with pytest.raises(ValueError, match="expected"):
+            read_edgelist(p)
+
+    def test_rejects_non_numeric(self, tmp_path):
+        p = tmp_path / "g.edges"
+        p.write_text("a b\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            read_edgelist(p)
+
+    def test_rejects_bad_header(self, tmp_path):
+        p = tmp_path / "g.edges"
+        p.write_text("# n=lots\n0 1\n")
+        with pytest.raises(ValueError, match="bad header"):
+            read_edgelist(p)
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "g.edges"
+        p.write_text("")
+        g = read_edgelist(p)
+        assert g.n == 0 and g.m == 0
+
+    def test_exact_weights_roundtrip(self, tmp_path):
+        # repr-based writing keeps float64 weights bit-exact.
+        g = erdos_renyi(40, 0.3, weights="exponential", rng=3)
+        p = tmp_path / "g.edges"
+        write_edgelist(g, p)
+        g2 = read_edgelist(p)
+        assert np.array_equal(g.edges_w, g2.edges_w)
+
+
+class TestSpannerResult:
+    @pytest.fixture(scope="class")
+    def res(self):
+        g = erdos_renyi(120, 0.2, weights="uniform", rng=4)
+        return g, general_tradeoff(g, 8, 2, rng=4)
+
+    def test_num_edges(self, res):
+        g, r = res
+        assert r.num_edges == r.edge_ids.size
+
+    def test_epochs_executed(self, res):
+        _, r = res
+        assert r.epochs_executed() == len({s.epoch for s in r.stats})
+
+    def test_cluster_trajectory_shape(self, res):
+        _, r = res
+        traj = r.cluster_trajectory()
+        assert len(traj) == len(r.stats)
+        assert all(len(t) == 3 for t in traj)
+
+    def test_subgraph_matches_ids(self, res):
+        g, r = res
+        h = r.subgraph(g)
+        assert h.m == r.num_edges
+
+    def test_stats_fields(self, res):
+        _, r = res
+        for s in r.stats:
+            assert isinstance(s, IterationStats)
+            assert s.num_sampled <= s.num_clusters
+            assert 0.0 <= s.sampling_probability <= 1.0
+
+    def test_empty_result(self):
+        r = SpannerResult(
+            edge_ids=np.zeros(0, dtype=np.int64),
+            algorithm="x",
+            k=2,
+            t=1,
+            iterations=0,
+        )
+        assert r.num_edges == 0
+        assert r.epochs_executed() == 0

@@ -1,0 +1,96 @@
+"""Tests for the distance oracle layer (Corollary 1.4 logical side)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import (
+    SpannerDistanceOracle,
+    approximate_sssp,
+    measure_approximation,
+    sssp_quality,
+)
+from repro.graphs import apsp, erdos_renyi, sssp
+
+
+@pytest.fixture(scope="module")
+def g():
+    return erdos_renyi(220, 0.12, weights="uniform", rng=99)
+
+
+class TestOracle:
+    def test_defaults_use_apsp_parameters(self, g):
+        o = SpannerDistanceOracle(g, rng=0)
+        import math
+
+        assert o.k == max(2, round(math.log2(g.n)))
+
+    def test_query_symmetric(self, g):
+        o = SpannerDistanceOracle(g, rng=1)
+        assert o.query(3, 7) == pytest.approx(o.query(7, 3))
+
+    def test_query_self_zero(self, g):
+        o = SpannerDistanceOracle(g, rng=2)
+        assert o.query(5, 5) == 0.0
+
+    def test_never_underestimates(self, g):
+        o = SpannerDistanceOracle(g, rng=3)
+        exact = apsp(g)
+        approx = o.all_pairs()
+        assert np.all(approx + 1e-9 >= exact)
+
+    def test_within_guaranteed_stretch(self, g):
+        o = SpannerDistanceOracle(g, rng=4)
+        rep = measure_approximation(o, num_pairs=300, rng=5)
+        assert rep.within_bound
+        assert rep.mean_ratio <= rep.max_ratio
+
+    def test_query_many_matches_query(self, g):
+        o = SpannerDistanceOracle(g, rng=6)
+        pairs = np.array([[0, 1], [2, 3], [4, 5]])
+        many = o.query_many(pairs)
+        each = [o.query(a, b) for a, b in pairs]
+        assert np.allclose(many, each)
+
+    def test_cache_reused(self, g):
+        o = SpannerDistanceOracle(g, rng=7)
+        a = o.distances_from(0)
+        b = o.distances_from(0)
+        assert a is b
+
+    def test_bad_source(self, g):
+        o = SpannerDistanceOracle(g, rng=8)
+        with pytest.raises(ValueError):
+            o.distances_from(10**6)
+
+    def test_custom_parameters(self, g):
+        o = SpannerDistanceOracle(g, k=3, t=2, rng=9)
+        assert o.k == 3 and o.t == 2
+        rep = measure_approximation(o, num_pairs=200, rng=10)
+        assert rep.max_ratio <= o.guaranteed_stretch + 1e-9
+
+    def test_empty_graph(self):
+        from repro.graphs import WeightedGraph
+
+        g0 = WeightedGraph.from_edges(5, [])
+        o = SpannerDistanceOracle(g0, k=2, t=1, rng=0)
+        assert np.isinf(o.query(0, 1))
+        assert o.query(2, 2) == 0.0
+
+
+class TestSSSPHelpers:
+    def test_approximate_never_underestimates(self, g):
+        d = approximate_sssp(g, 0, k=4, t=2, rng=11)
+        exact = sssp(g, 0)
+        assert np.all(d + 1e-9 >= exact)
+
+    def test_quality_ratios(self, g):
+        d = approximate_sssp(g, 0, k=4, t=2, rng=12)
+        mx, mean = sssp_quality(g, d, 0)
+        assert 1.0 <= mean <= mx
+
+    def test_exact_on_spanner_equals_one(self, g):
+        exact = sssp(g, 3)
+        mx, mean = sssp_quality(g, exact, 3)
+        assert mx == pytest.approx(1.0)

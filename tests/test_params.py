@@ -1,0 +1,153 @@
+"""Tests for the closed-form parameter formulas (repro.core.params)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    apsp_parameters,
+    bs_size_bound,
+    bs_stretch_bound,
+    cluster_count_bound,
+    mpc_rounds_bound,
+    num_epochs,
+    sampling_probability,
+    size_bound,
+    stretch_bound,
+    stretch_exponent,
+    total_iterations,
+    tradeoff_table,
+)
+
+
+class TestStretchExponent:
+    def test_t1_is_log3(self):
+        assert stretch_exponent(1) == pytest.approx(math.log2(3))
+
+    def test_monotone_decreasing(self):
+        vals = [stretch_exponent(t) for t in range(1, 50)]
+        assert all(b <= a for a, b in zip(vals, vals[1:]))
+
+    def test_limits_to_one(self):
+        # s(t) = 1 + log(2 - 1/(t+1)) / log(t+1) -> 1, slowly (o(1) term).
+        assert stretch_exponent(10**6) < 1.06
+        assert stretch_exponent(10**12) < stretch_exponent(10**6)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            stretch_exponent(0)
+
+
+class TestEpochs:
+    def test_k1_zero_epochs(self):
+        assert num_epochs(1, 3) == 0
+
+    def test_t1_log2k(self):
+        assert num_epochs(8, 1) == 3
+        assert num_epochs(16, 1) == 4
+        assert num_epochs(9, 1) == 4  # ceil
+
+    def test_t_large_one_epoch(self):
+        assert num_epochs(8, 7) == 1
+        assert num_epochs(8, 100) == 1
+
+    def test_coverage_property(self):
+        # (t+1)^l >= k must hold — the epochs cover the full exponent range.
+        for k in (2, 5, 8, 17, 64):
+            for t in (1, 2, 3, 5, 10):
+                l = num_epochs(k, t)
+                assert (t + 1) ** l >= k
+
+    def test_total_iterations(self):
+        assert total_iterations(16, 1) == 4
+        assert total_iterations(16, 3) == 2 * 3
+
+
+class TestSamplingProbability:
+    def test_epoch1_matches_bs(self):
+        assert sampling_probability(1000, 4, 3, 1) == pytest.approx(1000 ** (-0.25))
+
+    def test_decreasing_in_epoch(self):
+        ps = [sampling_probability(1000, 8, 2, i) for i in (1, 2, 3)]
+        assert ps[0] > ps[1] > ps[2]
+
+    def test_one_based(self):
+        with pytest.raises(ValueError):
+            sampling_probability(10, 2, 1, 0)
+
+
+class TestBounds:
+    def test_stretch_bound_k1(self):
+        assert stretch_bound(1, 1) == 1.0
+
+    def test_stretch_bound_t_clamped(self):
+        # At t >= k-1 the exponent gives k^s = 2k-1, so the Theorem 5.11
+        # bound is 2(2k-1); larger t is clamped.
+        assert stretch_bound(5, 4) == pytest.approx(2 * 9.0)
+        assert stretch_bound(5, 100) == stretch_bound(5, 4)
+
+    def test_stretch_bound_general(self):
+        s = stretch_exponent(2)
+        assert stretch_bound(9, 2) == pytest.approx(2 * 9**s)
+        assert stretch_bound(9, 2, exact_constant=False) == pytest.approx(9**s)
+
+    def test_stretch_monotone_improves_with_t(self):
+        vals = [stretch_bound(64, t) for t in (1, 2, 4, 8, 16, 32, 63)]
+        assert all(b <= a + 1e-9 for a, b in zip(vals, vals[1:]))
+
+    def test_size_bound_grows_with_t(self):
+        assert size_bound(100, 4, 5) > size_bound(100, 4, 1)
+
+    def test_size_bound_shrinks_with_k(self):
+        assert size_bound(1000, 8, 2) < size_bound(1000, 2, 2)
+
+    def test_bs_bounds(self):
+        assert bs_stretch_bound(3) == 5.0
+        assert bs_size_bound(100, 2, constant=1.0) == pytest.approx(2 * 100**1.5)
+
+    def test_cluster_count_decay(self):
+        c1 = cluster_count_bound(10**4, 8, 2, 1)
+        c2 = cluster_count_bound(10**4, 8, 2, 2)
+        assert c2 < c1 <= 10**4
+
+    def test_mpc_rounds_scale_inverse_gamma(self):
+        assert mpc_rounds_bound(8, 2, 0.25) == pytest.approx(
+            2 * mpc_rounds_bound(8, 2, 0.5)
+        )
+
+    def test_mpc_rounds_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            mpc_rounds_bound(4, 1, 0.0)
+
+
+class TestTradeoffTable:
+    def test_default_rows(self):
+        rows = tradeoff_table(16)
+        ts = [r.t for r in rows]
+        assert 1 in ts and 15 in ts and 4 in ts  # t=1, k-1, sqrt/log
+
+    def test_rows_consistent(self):
+        for row in tradeoff_table(9):
+            assert row.iterations == total_iterations(9, row.t)
+            assert row.stretch == stretch_bound(9, row.t)
+            assert row.label  # non-empty
+
+    def test_custom_ts(self):
+        rows = tradeoff_table(8, ts=[2, 3])
+        assert [r.t for r in rows] == [2, 3]
+
+
+class TestApspParameters:
+    def test_log_scaling(self):
+        k, t = apsp_parameters(1024)
+        assert k == 10
+        assert t == max(1, round(math.log2(10)))
+
+    def test_tiny_n(self):
+        assert apsp_parameters(2) == (1, 1)
+
+    def test_t_override(self):
+        k, t = apsp_parameters(1024, t=7)
+        assert t == 7

@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These generate random graphs and parameters and assert the *deterministic*
+guarantees of each construction (subgraph property, stretch bound,
+component preservation) plus data-structure invariants (dedup idempotence,
+union-find/quotient consistency, routing deliverability).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.congest import two_phase_schedule
+from repro.core import (
+    baswana_sen,
+    cluster_merging,
+    general_tradeoff,
+    stretch_bound,
+    two_phase_contraction,
+)
+from repro.graphs import (
+    UnionFind,
+    WeightedGraph,
+    connected_components,
+    dedupe_edges,
+    edge_stretch,
+    is_spanning_subgraph,
+    quotient_edges,
+    same_components,
+)
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_graph(draw, max_n: int = 40, max_m: int = 160, weighted: bool = True):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=min(max_m, n * (n - 1) // 2)))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = np.random.default_rng(seed)
+    max_pairs = n * (n - 1) // 2
+    codes = rng.choice(max_pairs, size=m, replace=False) if m else np.zeros(0, np.int64)
+    us, vs = [], []
+    for c in codes:
+        # decode triangular index
+        u = int(n - 2 - math.floor(math.sqrt(-8 * c + 4 * n * (n - 1) - 7) / 2 - 0.5))
+        v = int(c + u + 1 - n * (n - 1) // 2 + (n - u) * ((n - u) - 1) // 2)
+        us.append(u)
+        vs.append(v)
+    if weighted:
+        w = rng.uniform(0.5, 50.0, size=m)
+    else:
+        w = np.ones(m)
+    return WeightedGraph(n, np.asarray(us, np.int64), np.asarray(vs, np.int64), w)
+
+
+# ---------------------------------------------------------------------------
+# data-structure properties
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 15), st.integers(0, 15), st.floats(0.1, 100.0)
+        ).filter(lambda e: e[0] != e[1]),
+        max_size=60,
+    )
+)
+def test_dedupe_idempotent_and_minimal(edges):
+    u = np.array([e[0] for e in edges], dtype=np.int64)
+    v = np.array([e[1] for e in edges], dtype=np.int64)
+    w = np.array([e[2] for e in edges])
+    once = dedupe_edges(u, v, w)
+    twice = dedupe_edges(*once)
+    for a, b in zip(once, twice):
+        assert np.array_equal(a, b)
+    # minimal weight retained per pair
+    best: dict[tuple[int, int], float] = {}
+    for a, b, c in edges:
+        key = (min(a, b), max(a, b))
+        best[key] = min(best.get(key, math.inf), c)
+    got = {(int(a), int(b)): float(c) for a, b, c in zip(*once)}
+    assert got == {k: best[k] for k in got}
+    assert set(got) == set(best)
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_union_find_matches_components(data):
+    g = data.draw(random_graph(max_n=25, max_m=60))
+    uf = UnionFind(g.n)
+    uf.union_edges(g.edges_u, g.edges_v)
+    labels_uf = uf.labels(compact=True)
+    labels_cc = connected_components(g)
+    # same partition
+    mapping: dict[int, int] = {}
+    for a, b in zip(labels_uf.tolist(), labels_cc.tolist()):
+        assert mapping.setdefault(a, b) == b
+    assert uf.num_sets == len(set(labels_cc.tolist()))
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_quotient_provenance_valid(data):
+    g = data.draw(random_graph(max_n=25, max_m=80))
+    k = data.draw(st.integers(1, 5))
+    labels = np.arange(g.n) % k
+    q = quotient_edges(labels, g.edges_u, g.edges_v, g.edges_w)
+    for a, b, w, r in zip(q.u, q.v, q.w, q.rep_edge_id):
+        # provenance edge must realize the super-edge with that weight
+        assert g.edges_w[r] == w
+        la, lb = labels[g.edges_u[r]], labels[g.edges_v[r]]
+        assert {int(la), int(lb)} == {int(a), int(b)}
+        assert a != b
+
+
+@given(
+    st.integers(2, 30),
+    st.integers(0, 100),
+    st.integers(0, 2**31 - 1),
+)
+def test_lenzen_schedule_delivers(n, m, seed):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    inter, c1, c2 = two_phase_schedule(n, src, dst)
+    assert inter.shape == src.shape
+    if m:
+        assert inter.min() >= 0 and inter.max() < n
+    # congestion bounds: phase 1 load per pair <= ceil(max send / n)
+    max_send = 0
+    if m:
+        _, counts = np.unique(src, return_counts=True)
+        max_send = counts.max()
+    assert c1 <= max(1, math.ceil(max_send / n)) if m else c1 == 0
+
+
+# ---------------------------------------------------------------------------
+# algorithm guarantees as properties
+# ---------------------------------------------------------------------------
+
+
+@given(st.data())
+@settings(max_examples=15, deadline=None)
+def test_baswana_sen_guarantees(data):
+    g = data.draw(random_graph())
+    k = data.draw(st.integers(1, 5))
+    seed = data.draw(st.integers(0, 1000))
+    res = baswana_sen(g, k, rng=seed)
+    h = res.subgraph(g)
+    assert is_spanning_subgraph(g, h)
+    assert same_components(g, h)
+    rep = edge_stretch(g, h)
+    assert rep.max_stretch <= 2 * k - 1 + 1e-9
+
+
+@given(st.data())
+@settings(max_examples=15, deadline=None)
+def test_general_tradeoff_guarantees(data):
+    g = data.draw(random_graph())
+    k = data.draw(st.integers(2, 8))
+    t = data.draw(st.integers(1, 4))
+    seed = data.draw(st.integers(0, 1000))
+    res = general_tradeoff(g, k, t, rng=seed)
+    h = res.subgraph(g)
+    assert is_spanning_subgraph(g, h)
+    assert same_components(g, h)
+    rep = edge_stretch(g, h)
+    assert rep.max_stretch <= stretch_bound(k, t) + 1e-9
+
+
+@given(st.data())
+@settings(max_examples=15, deadline=None)
+def test_cluster_merging_guarantees(data):
+    g = data.draw(random_graph())
+    k = data.draw(st.integers(2, 8))
+    seed = data.draw(st.integers(0, 1000))
+    res = cluster_merging(g, k, rng=seed)
+    h = res.subgraph(g)
+    assert is_spanning_subgraph(g, h)
+    assert same_components(g, h)
+    rep = edge_stretch(g, h)
+    assert rep.max_stretch <= k ** math.log2(3) + 1e-9
+
+
+@given(st.data())
+@settings(max_examples=10, deadline=None)
+def test_two_phase_guarantees(data):
+    g = data.draw(random_graph())
+    k = data.draw(st.integers(2, 9))
+    seed = data.draw(st.integers(0, 1000))
+    res = two_phase_contraction(g, k, rng=seed)
+    h = res.subgraph(g)
+    assert is_spanning_subgraph(g, h)
+    assert same_components(g, h)
+    rep = edge_stretch(g, h)
+    assert rep.max_stretch <= 4 * k + 1e-9

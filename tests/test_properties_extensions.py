@@ -1,0 +1,94 @@
+"""Property-based tests for the extension modules and the engine invariant."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import EdgeSet, run_growth_iterations, stretch_bound
+from repro.distances import DistanceSketch
+from repro.graphs import (
+    apsp,
+    edge_stretch,
+    is_spanning_subgraph,
+    quantize_weights,
+    same_components,
+)
+from repro.streaming import streaming_spanner
+
+from tests.test_properties import random_graph  # reuse the graph strategy
+
+
+@given(st.data())
+@settings(max_examples=20, deadline=None)
+def test_engine_invariant_alive_edges_inter_cluster(data):
+    """Lemma 5.6 as a fuzzed invariant: after any number of iterations at
+    any probability, alive edges join two distinct live clusters."""
+    g = data.draw(random_graph(max_n=30, max_m=120))
+    p = data.draw(st.floats(0.0, 1.0))
+    iters = data.draw(st.integers(1, 4))
+    seed = data.draw(st.integers(0, 10**6))
+    es = EdgeSet.from_arrays(g.n, g.edges_u, g.edges_v, g.edges_w)
+    out = run_growth_iterations(
+        es, iterations=iters, probability=p, rng=np.random.default_rng(seed)
+    )
+    eu, ev, _, _ = es.alive_view()
+    labels = out.labels
+    assert np.all(labels[eu] >= 0)
+    assert np.all(labels[ev] >= 0)
+    assert np.all(labels[eu] != labels[ev])
+
+
+@given(st.data())
+@settings(max_examples=15, deadline=None)
+def test_streaming_spanner_guarantees(data):
+    g = data.draw(random_graph(max_n=30, max_m=120))
+    k = data.draw(st.integers(2, 8))
+    seed = data.draw(st.integers(0, 1000))
+    res = streaming_spanner(g, k, rng=seed, order_seed=seed)
+    h = res.subgraph(g)
+    assert is_spanning_subgraph(g, h)
+    assert same_components(g, h)
+    assert edge_stretch(g, h).max_stretch <= stretch_bound(k, 1) + 1e-9
+    assert res.extra["stream"]["passes"] <= math.ceil(math.log2(k)) + 1
+
+
+@given(st.data())
+@settings(max_examples=15, deadline=None)
+def test_quantization_properties(data):
+    g = data.draw(random_graph(max_n=25, max_m=80))
+    if g.m == 0:
+        return
+    eps = data.draw(st.floats(0.01, 2.0))
+    rep = quantize_weights(g, eps)
+    # per-edge: never below, at most (1+eps) above
+    assert np.all(rep.graph.edges_w >= g.edges_w - 1e-12)
+    assert rep.max_distortion <= 1 + eps + 1e-9
+    # weights are exact powers of (1+eps) over w_min
+    w_min = float(g.edges_w.min())
+    recon = w_min * (1 + eps) ** rep.exponents.astype(float)
+    assert np.allclose(recon, rep.graph.edges_w, rtol=1e-10)
+
+
+@given(st.data())
+@settings(max_examples=8, deadline=None)
+def test_sketch_guarantees_fuzzed(data):
+    g = data.draw(random_graph(max_n=25, max_m=80))
+    k = data.draw(st.integers(1, 3))
+    seed = data.draw(st.integers(0, 1000))
+    sk = DistanceSketch(g, k, rng=seed)
+    d = apsp(g)
+    rng = np.random.default_rng(seed)
+    pairs = rng.integers(0, g.n, size=(50, 2))
+    q = sk.query_many(pairs)
+    e = d[pairs[:, 0], pairs[:, 1]]
+    mask = np.isfinite(e) & (e > 0)
+    if mask.any():
+        r = q[mask] / e[mask]
+        assert r.max() <= 2 * k - 1 + 1e-9
+        assert r.min() >= 1 - 1e-9
+    # infinite iff disconnected
+    inf_mask = ~np.isfinite(e) & (pairs[:, 0] != pairs[:, 1])
+    assert np.all(~np.isfinite(q[inf_mask]))

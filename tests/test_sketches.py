@@ -1,0 +1,127 @@
+"""Tests for Thorup–Zwick distance sketches (repro.distances.sketches)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import general_tradeoff, stretch_bound
+from repro.distances import DistanceSketch, sketch_on_spanner
+from repro.graphs import WeightedGraph, apsp, erdos_renyi, path_graph
+
+
+@pytest.fixture(scope="module")
+def g():
+    return erdos_renyi(150, 0.12, weights="uniform", rng=55)
+
+
+@pytest.fixture(scope="module")
+def exact(g):
+    return apsp(g)
+
+
+def _ratios(sk, g, exact, num=400, seed=0):
+    rng = np.random.default_rng(seed)
+    pairs = rng.integers(0, g.n, size=(num, 2))
+    q = sk.query_many(pairs)
+    e = exact[pairs[:, 0], pairs[:, 1]]
+    mask = np.isfinite(e) & (e > 0)
+    return q[mask] / e[mask]
+
+
+class TestDistanceSketch:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_stretch_2k_minus_1(self, g, exact, k):
+        sk = DistanceSketch(g, k, rng=k)
+        r = _ratios(sk, g, exact)
+        assert r.max() <= 2 * k - 1 + 1e-9
+        assert r.min() >= 1 - 1e-9
+
+    def test_k1_exact(self, g, exact):
+        sk = DistanceSketch(g, 1, rng=0)
+        r = _ratios(sk, g, exact)
+        assert r.max() == pytest.approx(1.0)
+
+    def test_self_distance_zero(self, g):
+        sk = DistanceSketch(g, 3, rng=1)
+        assert sk.query(7, 7) == 0.0
+
+    def test_both_directions_within_bound(self, g, exact):
+        # TZ query values are not symmetric (the pivot walk starts at u),
+        # but both directions must respect the same guarantee.
+        sk = DistanceSketch(g, 3, rng=2)
+        for a, b in [(0, 5), (10, 99), (3, 77)]:
+            d = exact[a, b]
+            for q in (sk.query(a, b), sk.query(b, a)):
+                assert d - 1e-9 <= q <= 5 * d + 1e-9
+
+    def test_size_bound(self, g):
+        for k in (2, 3, 4):
+            sk = DistanceSketch(g, k, rng=3)
+            assert sk.size_words <= sk.expected_size_bound()
+
+    def test_size_shrinks_with_k(self, g):
+        s2 = DistanceSketch(g, 2, rng=4).size_words
+        s4 = DistanceSketch(g, 4, rng=4).size_words
+        # Larger k -> sparser bunches (up to noise; allow slack).
+        assert s4 <= 1.5 * s2
+
+    def test_disconnected_inf(self):
+        a = erdos_renyi(30, 0.3, weights="uniform", rng=5)
+        u = np.concatenate([a.edges_u, a.edges_u + 30])
+        v = np.concatenate([a.edges_v, a.edges_v + 30])
+        w = np.concatenate([a.edges_w, a.edges_w])
+        g2 = WeightedGraph(60, u, v, w)
+        sk = DistanceSketch(g2, 3, rng=6)
+        assert np.isinf(sk.query(0, 45))
+        assert np.isfinite(sk.query(0, 15))
+
+    def test_path_graph(self):
+        g = path_graph(30, weights="uniform", rng=7)
+        exact = apsp(g)
+        sk = DistanceSketch(g, 2, rng=7)
+        r = _ratios(sk, g, exact, num=200, seed=8)
+        assert r.max() <= 3 + 1e-9
+
+    def test_rejects_bad_k(self, g):
+        with pytest.raises(ValueError):
+            DistanceSketch(g, 0)
+
+    def test_rejects_bad_vertex(self, g):
+        sk = DistanceSketch(g, 2, rng=9)
+        with pytest.raises(ValueError):
+            sk.query(0, 10**6)
+
+    def test_empty_graph(self):
+        g0 = WeightedGraph.from_edges(4, [])
+        sk = DistanceSketch(g0, 2, rng=0)
+        assert np.isinf(sk.query(0, 1))
+        assert sk.query(2, 2) == 0.0
+
+
+class TestSketchOnSpanner:
+    def test_composed_stretch(self, g, exact):
+        k_sp, t = 4, 2
+        res = general_tradeoff(g, k_sp, t, rng=10)
+        sk, acc = sketch_on_spanner(g, res, 2, rng=11)
+        r = _ratios(sk, g, exact)
+        composed = 3 * stretch_bound(k_sp, t)  # (2*2-1) * spanner stretch
+        assert r.max() <= composed + 1e-9
+        assert r.min() >= 1 - 1e-9
+
+    def test_preprocessing_touches_fewer_edges(self, g):
+        res = general_tradeoff(g, 4, 2, rng=12)
+        _, acc = sketch_on_spanner(g, res, 2, rng=13)
+        assert acc["edges_in_spanner"] < acc["edges_in_g"]
+        assert 0 < acc["preprocessing_edge_ratio"] < 1
+
+    def test_accepts_graph_directly(self, g):
+        res = general_tradeoff(g, 4, 2, rng=14)
+        h = res.subgraph(g)
+        sk, acc = sketch_on_spanner(g, h, 2, rng=15)
+        assert acc["edges_in_spanner"] == h.m
+
+    def test_rejects_wrong_vertex_set(self, g):
+        other = WeightedGraph.from_edges(3, [(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            sketch_on_spanner(g, other, 2)

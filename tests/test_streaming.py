@@ -1,0 +1,100 @@
+"""Tests for the streaming substrate and streaming spanner."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import stretch_bound
+from repro.graphs import erdos_renyi, same_components, verify_spanner
+from repro.streaming import EdgeStream, streaming_spanner
+
+
+@pytest.fixture(scope="module")
+def g():
+    return erdos_renyi(200, 0.15, weights="uniform", rng=56)
+
+
+class TestEdgeStream:
+    def test_full_coverage_per_pass(self, g):
+        s = EdgeStream(g, chunk=64, order_seed=1)
+        seen = []
+        for _, _, _, eid in s.passes():
+            seen.extend(eid.tolist())
+        assert sorted(seen) == list(range(g.m))
+        s.end_pass(10)
+        assert s.stats.passes == 1
+        assert s.stats.edges_streamed == g.m
+
+    def test_same_order_every_pass(self, g):
+        s = EdgeStream(g, chunk=50, order_seed=2)
+        a = [eid.tolist() for *_, eid in s.passes()]
+        b = [eid.tolist() for *_, eid in s.passes()]
+        assert a == b
+
+    def test_peak_working_recorded(self, g):
+        s = EdgeStream(g)
+        for _ in s.passes():
+            pass
+        s.end_pass(5)
+        for _ in s.passes():
+            pass
+        s.end_pass(99)
+        assert s.stats.peak_working_records == 99
+        assert s.stats.per_pass_working == [5, 99]
+
+    def test_rejects_bad_chunk(self, g):
+        with pytest.raises(ValueError):
+            EdgeStream(g, chunk=0)
+
+
+class TestStreamingSpanner:
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_guarantees(self, g, k):
+        res = streaming_spanner(g, k, rng=60 + k)
+        h = res.subgraph(g)
+        verify_spanner(g, h, stretch_bound=stretch_bound(k, 1))
+        assert same_components(g, h)
+
+    def test_pass_count_log_k(self, g):
+        for k in (2, 4, 8, 16):
+            res = streaming_spanner(g, k, rng=1)
+            assert res.extra["stream"]["passes"] <= math.ceil(math.log2(k)) + 1
+
+    def test_fewer_passes_than_bs_iterations(self, g):
+        # The Section 2.4 comparison: log k passes vs [BS07]'s k.
+        k = 16
+        res = streaming_spanner(g, k, rng=2)
+        assert res.extra["stream"]["passes"] < k - 1
+
+    def test_k1_everything(self, g):
+        res = streaming_spanner(g, 1, rng=0)
+        assert res.num_edges == g.m
+
+    def test_working_set_shrinks_over_passes(self, g):
+        res = streaming_spanner(g, 16, rng=3)
+        work = res.extra["stream"]["per_pass_working"]
+        assert work[-1] <= work[0]
+
+    def test_insensitive_to_stream_order(self, g):
+        # Different arbitrary orders still give valid spanners (edge ids
+        # may differ; the guarantee may not).
+        for order_seed in (0, 1, 2):
+            res = streaming_spanner(g, 4, rng=4, order_seed=order_seed)
+            verify_spanner(g, res.subgraph(g), stretch_bound=stretch_bound(4, 1))
+
+    def test_chunk_size_invariance(self, g):
+        a = streaming_spanner(g, 4, rng=5, chunk=16)
+        b = streaming_spanner(g, 4, rng=5, chunk=10**6)
+        assert np.array_equal(a.edge_ids, b.edge_ids)
+
+    def test_comparable_to_in_memory_t1(self, g):
+        # Same algorithm family: sizes within a factor 2 of the in-memory
+        # general t=1 implementation.
+        from repro.core import general_tradeoff
+
+        a = streaming_spanner(g, 8, rng=6).num_edges
+        b = general_tradeoff(g, 8, 1, rng=6).num_edges
+        assert 0.5 <= a / b <= 2.0

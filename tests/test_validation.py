@@ -1,0 +1,121 @@
+"""Unit tests for spanner validation (repro.graphs.validation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    WeightedGraph,
+    edge_stretch,
+    erdos_renyi,
+    is_spanning_subgraph,
+    pair_stretch,
+    sampled_pair_stretch,
+    verify_spanner,
+)
+
+
+@pytest.fixture
+def g_and_tree(er_weighted):
+    """A graph and a shortest-path-tree-ish spanning subgraph of it."""
+    import networkx as nx
+
+    t = nx.minimum_spanning_tree(er_weighted.to_networkx())
+    idx = er_weighted.edge_index_map()
+    ids = [idx[(min(a, b), max(a, b))] for a, b in t.edges()]
+    return er_weighted, er_weighted.subgraph_from_edge_ids(ids)
+
+
+class TestSubgraphCheck:
+    def test_self_subgraph(self, er_weighted):
+        assert is_spanning_subgraph(er_weighted, er_weighted)
+
+    def test_tree_subgraph(self, g_and_tree):
+        g, h = g_and_tree
+        assert is_spanning_subgraph(g, h)
+
+    def test_rejects_different_n(self, er_weighted):
+        other = WeightedGraph.from_edges(3, [(0, 1, 1.0)])
+        assert not is_spanning_subgraph(er_weighted, other)
+
+    def test_rejects_foreign_edge(self, small_weighted):
+        h = WeightedGraph.from_edges(6, [(0, 5, 1.0)])
+        assert not is_spanning_subgraph(small_weighted, h)
+
+
+class TestEdgeStretch:
+    def test_identity_stretch_one(self, er_weighted):
+        rep = edge_stretch(er_weighted, er_weighted)
+        assert rep.max_stretch == 1.0
+        assert rep.num_checked == er_weighted.m
+
+    def test_agrees_with_pair_stretch(self, g_and_tree):
+        g, h = g_and_tree
+        # Edge-sufficiency lemma: max over edges equals max over all pairs.
+        re = edge_stretch(g, h)
+        rp = pair_stretch(g, h)
+        assert re.max_stretch == pytest.approx(rp.max_stretch, rel=1e-9)
+
+    def test_detects_disconnection(self, small_weighted):
+        h = WeightedGraph.from_edges(6, [(0, 1, 1.0)])
+        rep = edge_stretch(small_weighted, h)
+        assert np.isinf(rep.max_stretch)
+
+    def test_hand_computed(self):
+        # Triangle with the heavy edge dropped: stretch of (0,2) is 3/2.
+        g = WeightedGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 0.5), (0, 2, 1.0)])
+        idx = g.edge_index_map()
+        h = g.subgraph_from_edge_ids([idx[(0, 1)], idx[(1, 2)]])
+        rep = edge_stretch(g, h)
+        assert rep.max_stretch == pytest.approx(1.5)
+
+    def test_empty_graph(self):
+        g = WeightedGraph.from_edges(4, [])
+        rep = edge_stretch(g, g)
+        assert rep.max_stretch == 1.0 and rep.num_checked == 0
+
+
+class TestSampledStretch:
+    def test_bounded_by_exact(self, g_and_tree):
+        g, h = g_and_tree
+        exact = pair_stretch(g, h)
+        sampled = sampled_pair_stretch(g, h, 300, rng=0)
+        assert sampled.max_stretch <= exact.max_stretch + 1e-9
+        assert sampled.method == "sampled-pairs"
+
+    def test_tiny_graph(self):
+        g = WeightedGraph.from_edges(1, [])
+        rep = sampled_pair_stretch(g, g, 10, rng=0)
+        assert rep.num_checked == 0
+
+
+class TestVerifySpanner:
+    def test_passes_valid(self, g_and_tree):
+        g, h = g_and_tree
+        rep = verify_spanner(g, h)
+        assert rep.max_stretch >= 1.0
+
+    def test_raises_on_stretch_violation(self, g_and_tree):
+        g, h = g_and_tree
+        with pytest.raises(AssertionError, match="stretch"):
+            verify_spanner(g, h, stretch_bound=1.0 + 1e-12)
+
+    def test_raises_on_size_violation(self, er_weighted):
+        with pytest.raises(AssertionError, match="size"):
+            verify_spanner(er_weighted, er_weighted, size_bound=1)
+
+    def test_raises_on_non_subgraph(self, small_weighted):
+        h = WeightedGraph.from_edges(6, [(0, 5, 1.0)])
+        with pytest.raises(AssertionError, match="subgraph"):
+            verify_spanner(small_weighted, h)
+
+    def test_raises_on_disconnect(self, small_weighted):
+        h = small_weighted.subgraph_from_edge_ids([0])
+        with pytest.raises(AssertionError, match="disconnect"):
+            verify_spanner(small_weighted, h)
+
+    def test_within_helper(self, er_weighted):
+        rep = edge_stretch(er_weighted, er_weighted)
+        assert rep.within(1.0)
+        assert rep.within(10.0)

@@ -1,0 +1,75 @@
+"""Tests for weight quantization (repro.graphs.weights)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import apsp, erdos_renyi, quantize_weights
+
+
+@pytest.fixture(scope="module")
+def g():
+    return erdos_renyi(120, 0.15, weights="exponential", rng=50)
+
+
+class TestQuantization:
+    def test_distortion_within_epsilon(self, g):
+        for eps in (0.01, 0.1, 0.5):
+            rep = quantize_weights(g, eps)
+            assert rep.max_distortion <= 1 + eps + 1e-9
+            assert np.all(rep.graph.edges_w >= g.edges_w - 1e-12)
+
+    def test_distance_distortion(self, g):
+        eps = 0.2
+        rep = quantize_weights(g, eps)
+        d0 = apsp(g)
+        d1 = apsp(rep.graph)
+        finite = np.isfinite(d0) & (d0 > 0)
+        ratios = d1[finite] / d0[finite]
+        assert ratios.max() <= 1 + eps + 1e-9
+        assert ratios.min() >= 1 - 1e-9  # distances never shrink
+
+    def test_weights_are_powers(self, g):
+        rep = quantize_weights(g, 0.3)
+        w_min = float(g.edges_w.min())
+        recon = w_min * (1.3 ** rep.exponents.astype(float))
+        assert np.allclose(recon, rep.graph.edges_w)
+
+    def test_bits_shrink_with_larger_epsilon(self, g):
+        fine = quantize_weights(g, 0.01)
+        coarse = quantize_weights(g, 1.0)
+        assert coarse.bits_per_word <= fine.bits_per_word
+
+    def test_topology_unchanged(self, g):
+        rep = quantize_weights(g, 0.5)
+        assert rep.graph.m == g.m
+        assert np.array_equal(rep.graph.edges_u, g.edges_u)
+
+    def test_unit_weights_zero_exponents(self):
+        g = erdos_renyi(50, 0.2, rng=1)
+        rep = quantize_weights(g, 0.1)
+        assert np.all(rep.exponents == 0)
+        assert rep.max_distortion == pytest.approx(1.0)
+
+    def test_rejects_bad_epsilon(self, g):
+        with pytest.raises(ValueError):
+            quantize_weights(g, 0.0)
+
+    def test_rejects_empty_graph(self):
+        from repro.graphs import WeightedGraph
+
+        with pytest.raises(ValueError):
+            quantize_weights(WeightedGraph.from_edges(3, []), 0.1)
+
+    def test_spanner_on_quantized_graph(self, g):
+        # The composition claim: sigma-spanner of the quantized graph is a
+        # sigma(1+eps)-spanner of the original.
+        from repro.core import baswana_sen
+        from repro.graphs import edge_stretch
+
+        eps = 0.25
+        rep = quantize_weights(g, eps)
+        res = baswana_sen(rep.graph, 3, rng=2)
+        h = g.subgraph_from_edge_ids(res.edge_ids)  # same edge ids/topology
+        assert edge_stretch(g, h).max_stretch <= 5 * (1 + eps) + 1e-9
