@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Dump distance-layer benchmark timings to ``BENCH_distance_layer.json``.
+
+This is the trajectory-tracking entry point: each run overwrites the JSON
+snapshot at the repo root, so the perf numbers future PRs must defend are
+always one command away::
+
+    python scripts/bench_snapshot.py            # full acceptance-scale run
+    python scripts/bench_snapshot.py --smoke    # tiny-n sanity run
+
+No PYTHONPATH fiddling needed — the script wires up ``src`` and
+``benchmarks`` itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+
+from bench_distance_layer import format_table, run_distance_layer_bench  # noqa: E402
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true", help="tiny-n smoke run")
+    ap.add_argument(
+        "--out",
+        default=os.path.join(REPO_ROOT, "BENCH_distance_layer.json"),
+        help="output JSON path (default: BENCH_distance_layer.json at repo root)",
+    )
+    args = ap.parse_args()
+
+    record = run_distance_layer_bench(smoke=args.smoke)
+    print(format_table(record))
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if not args.smoke and record["sketch_preprocess"]["speedup"] < 5.0:
+        print("WARNING: sketch preprocessing speedup fell below the 5x gate",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

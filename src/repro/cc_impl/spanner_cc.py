@@ -187,7 +187,7 @@ def spanner_cc(
 
     _, _, _, remaining = edges.alive_view()
     extra_edges = np.unique(remaining)
-    edges.alive[:] = False
+    edges.kill_all()
     spanner_parts.append(extra_edges)
 
     eids = (

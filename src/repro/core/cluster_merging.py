@@ -165,7 +165,7 @@ def cluster_merging(
             added.append(f_eid[f_samp])
 
             group_of_arc = np.cumsum(lead) - 1
-            edges.alive[p_s[g_discard[group_of_arc]]] = False
+            edges.kill(p_s[g_discard[group_of_arc]])
 
         # Unsampled clusters with no alive incident edges silently retire.
         idle = cluster_alive & ~sampled & (merge_target < 0) & ~died
@@ -203,7 +203,7 @@ def cluster_merging(
             m = edges.alive
             intra = labels[edges.u[m]] == labels[edges.v[m]]
             pos = np.flatnonzero(m)
-            edges.alive[pos[intra]] = False
+            edges.kill(pos[intra])
 
         live = np.flatnonzero(cluster_alive)
         stats.append(

@@ -28,7 +28,7 @@ loop over nodes or edges.  This mirrors the paper's own MPC implementation
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -45,6 +45,11 @@ class EdgeSet:
     from; ``alive`` flags unprocessed records.  The engine never reallocates
     — it only flips ``alive`` bits — so callers can cheaply extract the
     surviving sub-list afterwards.
+
+    The alive count is cached and maintained incrementally by :meth:`kill` /
+    :meth:`kill_all`, so :attr:`num_alive` (read several times per
+    iteration) no longer re-sums the boolean array.  Code that writes
+    ``alive`` directly must call :meth:`refresh_alive_count` afterwards.
     """
 
     num_nodes: int
@@ -53,6 +58,11 @@ class EdgeSet:
     w: np.ndarray
     eid: np.ndarray
     alive: np.ndarray
+    _alive_count: int = field(default=-1, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self._alive_count < 0:
+            self._alive_count = int(self.alive.sum())
 
     @classmethod
     def from_arrays(cls, num_nodes: int, u, v, w, eid=None) -> "EdgeSet":
@@ -69,9 +79,29 @@ class EdgeSet:
         m = self.alive
         return self.u[m], self.v[m], self.w[m], self.eid[m]
 
+    def kill(self, positions: np.ndarray) -> None:
+        """Mark the records at ``positions`` dead (duplicates and
+        already-dead positions are fine)."""
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return
+        pos = np.unique(pos)
+        self._alive_count -= int(self.alive[pos].sum())
+        self.alive[pos] = False
+
+    def kill_all(self) -> None:
+        """Mark every record dead."""
+        if self._alive_count:
+            self.alive[:] = False
+        self._alive_count = 0
+
+    def refresh_alive_count(self) -> None:
+        """Re-derive the cached count after a direct write to ``alive``."""
+        self._alive_count = int(self.alive.sum())
+
     @property
     def num_alive(self) -> int:
-        return int(self.alive.sum())
+        return self._alive_count
 
 
 @dataclass
@@ -182,7 +212,7 @@ def run_growth_iterations(
             sampled_flag[cluster_ids] = rng.random(num_clusters) < p
         num_sampled = int(sampled_flag[cluster_ids].sum()) if num_clusters else 0
 
-        node_sampled = active & sampled_flag[np.where(labels >= 0, labels, 0)] & active
+        node_sampled = active & sampled_flag[np.where(labels >= 0, labels, 0)]
         processing = active & ~node_sampled
 
         eu, ev, ew, eeid = edges.alive_view()
@@ -276,7 +306,7 @@ def run_growth_iterations(
             # Expand group decisions back onto sorted arcs, then onto edges.
             group_of_arc = np.cumsum(lead) - 1  # per sorted arc
             arc_discard = g_discard[group_of_arc]
-            edges.alive[apos_s[arc_discard]] = False
+            edges.kill(apos_s[arc_discard])
 
             new_labels[f_tail[joiners]] = f_cluster[joiners]
 
@@ -300,7 +330,7 @@ def run_growth_iterations(
             lv = new_labels[edges.v[m]]
             intra = lu == lv
             pos = np.flatnonzero(m)
-            edges.alive[pos[intra]] = False
+            edges.kill(pos[intra])
 
         labels = new_labels
         num_added = int(sum(a.size for a in added_this_iter))
@@ -357,5 +387,5 @@ def phase2_edges(edges: EdgeSet, labels: np.ndarray) -> np.ndarray:
     t_s, c_s = tails[order], hc[order]
     lead = _group_leaders(order, t_s, c_s)
     chosen = aeid[order][lead]
-    edges.alive[:] = False
+    edges.kill_all()
     return np.unique(chosen)

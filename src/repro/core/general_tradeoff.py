@@ -156,7 +156,7 @@ def general_tradeoff(
     # cluster) pair") is precisely the set of all remaining edges.
     _, _, _, remaining = edges.alive_view()
     extra = np.unique(remaining)
-    edges.alive[:] = False
+    edges.kill_all()
     spanner_parts.append(extra)
 
     eids = (

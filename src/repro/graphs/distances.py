@@ -20,6 +20,8 @@ from .graph import WeightedGraph
 __all__ = [
     "sssp",
     "sssp_reference",
+    "batched_sssp",
+    "iter_sssp_chunks",
     "apsp",
     "pairwise_distances",
     "bfs_hops",
@@ -30,6 +32,67 @@ __all__ = [
 ]
 
 _INF = np.inf
+
+# Batched Dijkstra runs are chunked so the dense (sources, n) distance block
+# stays below ~32 MB regardless of how many distinct sources a caller asks
+# for at once.
+_CHUNK_ENTRIES = 4_000_000
+
+
+def _gather_neighbors(csr, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Flat CSR indices of every arc leaving ``frontier``, plus the frontier
+    slot each arc came from — one ``np.repeat``-based gather, no Python loop
+    over frontier vertices."""
+    starts = csr.indptr[frontier]
+    counts = csr.indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    reps = np.repeat(np.arange(frontier.size), counts)
+    within = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    return starts[reps] + within, reps
+
+
+def iter_sssp_chunks(g: WeightedGraph, sources: np.ndarray):
+    """Yield ``(offset, rows)`` blocks of a multi-source Dijkstra.
+
+    Each block holds at most ``_CHUNK_ENTRIES`` distance entries (~32 MB),
+    so callers that reduce blocks immediately (stretch checks, pairwise
+    lookups) keep peak memory bounded no matter how many sources they ask
+    for.  Rows match :func:`sssp` exactly.
+    """
+    sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+    if sources.size and (sources.min() < 0 or sources.max() >= g.n):
+        raise ValueError("source out of range")
+    mat = g.to_scipy() if g.m else None
+    chunk = max(1, _CHUNK_ENTRIES // max(g.n, 1))
+    for lo in range(0, sources.size, chunk):
+        block = sources[lo : lo + chunk]
+        if mat is None:
+            rows = np.full((block.size, g.n), _INF)
+            rows[np.arange(block.size), block] = 0.0
+        else:
+            rows = np.atleast_2d(
+                csgraph.dijkstra(mat, directed=False, indices=block)
+            )
+        yield lo, rows
+
+
+def batched_sssp(g: WeightedGraph, sources: np.ndarray) -> np.ndarray:
+    """Dijkstra from many sources at once: ``(len(sources), n)`` distances.
+
+    One chunked ``csgraph.dijkstra(indices=sources)`` call instead of a
+    Python loop of single-source runs; rows match :func:`sssp` exactly.
+    The *returned* matrix is dense ``O(len(sources) · n)`` — callers with
+    many sources that only need a reduction per row should stream
+    :func:`iter_sssp_chunks` instead of materializing this.
+    """
+    sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+    out = np.empty((sources.size, g.n))
+    for lo, rows in iter_sssp_chunks(g, sources):
+        out[lo : lo + rows.shape[0]] = rows
+    return out
 
 
 def sssp(g: WeightedGraph, source: int) -> np.ndarray:
@@ -88,22 +151,18 @@ def pairwise_distances(
 ) -> np.ndarray:
     """Exact distances for selected ``(u, v)`` pairs.
 
-    Runs one Dijkstra per distinct source, so it is efficient when sources
-    repeat (the sampled-pair stretch measurement does exactly that).
+    One *batched* Dijkstra over the distinct sources (chunked to bound the
+    dense distance block), so it is efficient when sources repeat — the
+    sampled-pair stretch measurement does exactly that.
     """
     pairs = np.asarray(pairs, dtype=np.int64)
     if pairs.size == 0:
         return np.zeros(0)
+    sources, inv = np.unique(pairs[:, 0], return_inverse=True)
     out = np.empty(pairs.shape[0])
-    mat = g.to_scipy() if g.m else None
-    for s in np.unique(pairs[:, 0]):
-        mask = pairs[:, 0] == s
-        if mat is None:
-            d = np.full(g.n, _INF)
-            d[s] = 0.0
-        else:
-            d = csgraph.dijkstra(mat, directed=False, indices=int(s))
-        out[mask] = d[pairs[mask, 1]]
+    for lo, rows in iter_sssp_chunks(g, sources):
+        sel = (inv >= lo) & (inv < lo + rows.shape[0])
+        out[sel] = rows[inv[sel] - lo, pairs[sel, 1]]
     return out
 
 
@@ -119,16 +178,12 @@ def bfs_hops(g: WeightedGraph, source: int) -> np.ndarray:
     level = 0
     while frontier.size:
         level += 1
-        # Gather all neighbors of the frontier at once.
-        starts = csr.indptr[frontier]
-        stops = csr.indptr[frontier + 1]
-        total = int((stops - starts).sum())
-        if total == 0:
+        # Gather all neighbors of the frontier at once (repeat-based gather
+        # straight from the cached CSR — no per-vertex slicing).
+        flat, _ = _gather_neighbors(csr, frontier)
+        if flat.size == 0:
             break
-        nbrs = np.concatenate(
-            [csr.indices[a:b] for a, b in zip(starts, stops)]
-        )
-        nbrs = np.unique(nbrs)
+        nbrs = np.unique(csr.indices[flat])
         new = nbrs[dist[nbrs] == -1]
         dist[new] = level
         frontier = new
@@ -143,25 +198,32 @@ def k_hop_ball(g: WeightedGraph, source: int, hops: int, *, cap: int | None = No
     """
     if hops < 0:
         raise ValueError("hops must be non-negative")
-    seen = {int(source)}
-    order = [int(source)]
-    frontier = [int(source)]
+    seen = np.zeros(g.n, dtype=bool)
+    seen[source] = True
+    frontier = np.asarray([int(source)], dtype=np.int64)
+    parts = [frontier]
+    count = 1
     csr = g.csr
     for _ in range(hops):
-        nxt: list[int] = []
-        for x in frontier:
-            for y in csr.indices[csr.indptr[x] : csr.indptr[x + 1]]:
-                y = int(y)
-                if y not in seen:
-                    seen.add(y)
-                    order.append(y)
-                    nxt.append(y)
-                    if cap is not None and len(order) >= cap:
-                        return np.asarray(order, dtype=np.int64)
-        if not nxt:
+        # Scan order matches the old per-vertex loop: frontier order crossed
+        # with CSR neighbor order, keeping only first occurrences.
+        flat, _ = _gather_neighbors(csr, frontier)
+        cand = csr.indices[flat]
+        cand = cand[~seen[cand]]
+        if cand.size == 0:
             break
-        frontier = nxt
-    return np.asarray(order, dtype=np.int64)
+        _, first = np.unique(cand, return_index=True)
+        new = cand[np.sort(first)]
+        seen[new] = True
+        if cap is not None and count + new.size >= cap:
+            # The scan stops right after the vertex that reaches the cap, so
+            # at least one vertex is always taken even when cap <= count.
+            parts.append(new[: max(cap - count, 1)])
+            return np.concatenate(parts)
+        parts.append(new)
+        count += new.size
+        frontier = new
+    return np.concatenate(parts)
 
 
 def connected_components(g: WeightedGraph) -> np.ndarray:

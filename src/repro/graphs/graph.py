@@ -31,7 +31,25 @@ __all__ = [
     "WeightedGraph",
     "canonical_edges",
     "dedupe_edges",
+    "sorted_lookup",
 ]
+
+
+def sorted_lookup(haystack: np.ndarray, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized membership of ``keys`` in the ascending ``haystack``.
+
+    Returns ``(found, pos)`` where ``found`` flags keys present in the
+    haystack and ``pos`` is the (clipped) searchsorted index — valid as the
+    match position wherever ``found`` is true.  Shared by every sorted-key
+    index in the repo (edge lookups, bunch membership, stream discard
+    records) so the clip-guard subtlety lives in one place.
+    """
+    keys = np.asarray(keys)
+    if haystack.size == 0:
+        return np.zeros(keys.shape, dtype=bool), np.zeros(keys.shape, dtype=np.int64)
+    pos = np.searchsorted(haystack, keys)
+    clipped = np.minimum(pos, haystack.size - 1)
+    return (pos < haystack.size) & (haystack[clipped] == keys), clipped
 
 
 def canonical_edges(
@@ -111,7 +129,7 @@ class WeightedGraph:
     [0, 2]
     """
 
-    __slots__ = ("n", "_u", "_v", "_w", "_csr")
+    __slots__ = ("n", "_u", "_v", "_w", "_csr", "_scipy", "_edge_keys")
 
     def __init__(
         self,
@@ -135,6 +153,8 @@ class WeightedGraph:
         self._v = hi
         self._w = w
         self._csr: _CSR | None = None
+        self._scipy: sparse.csr_matrix | None = None
+        self._edge_keys: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -284,12 +304,19 @@ class WeightedGraph:
     # Conversions / derived graphs
     # ------------------------------------------------------------------
     def to_scipy(self) -> sparse.csr_matrix:
-        """Symmetric scipy CSR matrix of weights (for shortest paths)."""
-        m = self.m
-        row = np.concatenate([self._u, self._v])
-        col = np.concatenate([self._v, self._u])
-        dat = np.concatenate([self._w, self._w])
-        return sparse.csr_matrix((dat, (row, col)), shape=(self.n, self.n))
+        """Symmetric scipy CSR matrix of weights (for shortest paths).
+
+        Built lazily and cached: graphs are immutable, and every shortest-path
+        entry point (``sssp``/``apsp``/``pairwise_distances``/stretch checks)
+        hits this, so repeated calls must not rebuild the matrix.  Callers
+        must treat the returned matrix as read-only.
+        """
+        if self._scipy is None:
+            row = np.concatenate([self._u, self._v])
+            col = np.concatenate([self._v, self._u])
+            dat = np.concatenate([self._w, self._w])
+            self._scipy = sparse.csr_matrix((dat, (row, col)), shape=(self.n, self.n))
+        return self._scipy
 
     def to_networkx(self):
         """Convert to a ``networkx.Graph`` with ``weight`` attributes."""
@@ -315,18 +342,50 @@ class WeightedGraph:
             self.n, self._u[ids], self._v[ids], self._w[ids], validate=False
         )
 
+    def _sorted_edge_keys(self) -> np.ndarray:
+        """Edges encoded as sorted int64 keys ``u * n + v``.
+
+        ``dedupe_edges`` leaves the edge list sorted by ``(u, v)``, so the key
+        array is ascending and the position of a key *is* the edge id — which
+        makes every ``(u, v) -> id`` lookup a vectorized ``searchsorted``.
+        """
+        if self._edge_keys is None:
+            self._edge_keys = self._u * np.int64(self.n) + self._v
+        return self._edge_keys
+
+    def edge_ids_for(self, us, vs, *, missing: int = -1) -> np.ndarray:
+        """Vectorized ``(u, v) -> edge id`` lookup; ``missing`` for absent edges.
+
+        Endpoint order does not matter (pairs are canonicalized internally).
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        lo = np.minimum(us, vs)
+        hi = np.maximum(us, vs)
+        keys = lo * np.int64(self.n) + hi
+        found, pos = sorted_lookup(self._sorted_edge_keys(), keys)
+        return np.where(found, pos, np.int64(missing))
+
     def has_edge_subset(self, other: "WeightedGraph") -> bool:
         """True if ``other``'s edge set (with weights) is a subset of ours."""
         if other.n != self.n:
             return False
-        ours = set(zip(self._u.tolist(), self._v.tolist(), self._w.tolist()))
-        return all(e in ours for e in zip(other._u.tolist(), other._v.tolist(), other._w.tolist()))
+        if other.m == 0:
+            return True
+        ids = self.edge_ids_for(other._u, other._v)
+        if np.any(ids < 0):
+            return False
+        return bool(np.array_equal(self._w[ids], other._w))
 
     def edge_index_map(self) -> dict[tuple[int, int], int]:
-        """Map ``(u, v)`` (u < v) to edge id."""
+        """Map ``(u, v)`` (u < v) to edge id.
+
+        For bulk lookups prefer the vectorized :meth:`edge_ids_for`; this
+        dict view exists for hand-written tests and small-scale inspection.
+        """
         return {
             (int(a), int(b)): i
-            for i, (a, b) in enumerate(zip(self._u, self._v))
+            for i, (a, b) in enumerate(zip(self._u.tolist(), self._v.tolist()))
         }
 
     def reweighted(self, weights: np.ndarray) -> "WeightedGraph":

@@ -15,9 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.sparse import csgraph
 
-from .distances import apsp, pairwise_distances
+from .distances import apsp, iter_sssp_chunks, pairwise_distances
 from .graph import WeightedGraph
 
 __all__ = [
@@ -74,18 +73,13 @@ def edge_stretch(g: WeightedGraph, h: WeightedGraph) -> StretchReport:
         raise ValueError("graphs must share a vertex set")
     if g.m == 0:
         return StretchReport(1.0, 1.0, 0, "edges")
-    hs = h.to_scipy() if h.m else None
+    # One batched Dijkstra on H over the distinct sources among g's edges,
+    # consumed chunk by chunk so peak memory stays O(chunk), not O(n^2).
+    sources, inv = np.unique(g.edges_u, return_inverse=True)
     ratios = np.empty(g.m)
-    # One Dijkstra on H per distinct source among g's edges.
-    sources = np.unique(g.edges_u)
-    for s in sources:
-        mask = g.edges_u == s
-        if hs is None:
-            dh = np.full(g.n, np.inf)
-            dh[s] = 0.0
-        else:
-            dh = csgraph.dijkstra(hs, directed=False, indices=int(s))
-        ratios[mask] = dh[g.edges_v[mask]] / g.edges_w[mask]
+    for lo, dh in iter_sssp_chunks(h, sources):
+        sel = (inv >= lo) & (inv < lo + dh.shape[0])
+        ratios[sel] = dh[inv[sel] - lo, g.edges_v[sel]] / g.edges_w[sel]
     finite = ratios[np.isfinite(ratios)]
     max_s = float(ratios.max()) if ratios.size else 1.0
     mean_s = float(finite.mean()) if finite.size else np.inf

@@ -6,8 +6,12 @@ minimum edges the epoch needs) and achieves stretch ``O(k^{log 3})`` on
 *weighted* graphs, versus [AGM12]'s ``k^{log 5}`` in the same ``log k``
 passes for unweighted dynamic streams.
 
-Cross-pass state is ``O(n)``: the cluster label per vertex, the alive flag
-per cluster, and the sampling coins.  The per-pass working set — one
+Cross-pass state is ``O(n log k)``: the cluster label per vertex, the
+alive flag per cluster, the sampling coins, and — per epoch — a label
+snapshot plus the set of *discarded cluster-pair groups* (the streaming
+stand-in for the in-memory engine's per-edge ``alive`` bits: a later pass
+must not re-select an edge whose group was already consumed, or the
+Theorem 5.11 radius argument breaks).  The per-pass working set — one
 running minimum per adjacent cluster pair — is measured and reported (the
 dynamic-stream literature compresses it with linear sketches; see
 DESIGN.md).
@@ -26,7 +30,7 @@ import math
 import numpy as np
 
 from ..core.results import IterationStats, SpannerResult
-from ..graphs.graph import WeightedGraph
+from ..graphs.graph import WeightedGraph, sorted_lookup
 from .stream import EdgeStream
 
 __all__ = ["streaming_spanner"]
@@ -36,17 +40,34 @@ def _pass_group_minima(
     stream: EdgeStream,
     labels: np.ndarray,
     alive: np.ndarray,
+    discarded: list[tuple[np.ndarray, np.ndarray]],
 ) -> tuple[dict[tuple[int, int], tuple[float, int]], int]:
     """One pass: min-weight edge per *ordered* adjacent cluster pair.
 
-    Skips edges that are intra-cluster or touch a dead cluster.  Returns
-    the group-minimum dict and the peak working-set size.
+    Skips edges that are intra-cluster, touch a dead cluster, or belong to
+    a cluster-pair group a previous epoch discarded (``discarded`` holds
+    one ``(labels snapshot, sorted dead-pair keys)`` record per epoch —
+    the streaming stand-in for the in-memory engine's per-edge ``alive``
+    bits; without it a later pass can pick an already-consumed edge as a
+    pair minimum and void the Theorem 5.11 radius argument).  Returns the
+    group-minimum dict and the peak working-set size.
     """
+    n = labels.size
     best: dict[tuple[int, int], tuple[float, int]] = {}
     for eu, ev, ew, eid in stream.passes():
         cu = labels[eu]
         cv = labels[ev]
         ok = (cu != cv) & alive[cu] & alive[cv]
+        for old_labels, dead_keys in discarded:
+            if dead_keys.size == 0:
+                continue
+            ou = old_labels[eu]
+            ov = old_labels[ev]
+            # An edge died if either direction of its then-current group
+            # was discarded.
+            for a, b in ((ou, ov), (ov, ou)):
+                dead, _ = sorted_lookup(dead_keys, a * np.int64(n) + b)
+                ok &= ~dead
         # Vectorize within the chunk: one leader per ordered pair, then a
         # small dict merge (running minima across chunks).
         a = np.concatenate([cu[ok], cv[ok]])
@@ -110,10 +131,12 @@ def streaming_spanner(
     alive = np.ones(n, dtype=bool)
     spanner: set[int] = set()
     stats: list[IterationStats] = []
+    # Per-epoch discard records: (labels snapshot, sorted dead-pair keys).
+    discarded: list[tuple[np.ndarray, np.ndarray]] = []
 
     for epoch in range(1, epochs + 1):
         p = float(n) ** (-(2.0 ** (epoch - 1)) / k)
-        best, working = _pass_group_minima(stream, labels, alive)
+        best, working = _pass_group_minima(stream, labels, alive, discarded)
         stream.end_pass(working)
         if not best:
             break
@@ -132,6 +155,7 @@ def streaming_spanner(
                 neighbors.setdefault(a, []).append((w, e, b))
         merge_target = np.full(n, -1, dtype=np.int64)
         died = np.zeros(n, dtype=bool)
+        dead_keys: list[int] = []
         for c, nbrs in neighbors.items():
             nbrs.sort()
             samp = [(w, e, b) for (w, e, b) in nbrs if sampled[b]]
@@ -140,20 +164,27 @@ def streaming_spanner(
                 spanner.add(ej)
                 num_added += 1
                 merge_target[c] = bj
+                dead_keys.append(c * n + bj)  # the join group is consumed
                 for w, e, b in nbrs:
                     if w < wj and b != bj:
                         spanner.add(e)
                         num_added += 1
+                        dead_keys.append(c * n + b)
             else:
                 for _, e, _ in nbrs:
                     spanner.add(e)
                     num_added += 1
                 died[c] = True
+                dead_keys.extend(c * n + b for (_, _, b) in nbrs)
         # Unsampled alive clusters with no neighbors retire silently.
         seen = np.zeros(n, dtype=bool)
         seen[list(neighbors.keys())] = True
         idle = alive & ~sampled & ~seen
         died |= idle
+
+        discarded.append(
+            (labels.copy(), np.unique(np.asarray(dead_keys, dtype=np.int64)))
+        )
 
         merged = np.flatnonzero(merge_target >= 0)
         if merged.size:
@@ -177,7 +208,7 @@ def streaming_spanner(
         )
 
     # Final pass: remaining inter-cluster minima join the spanner.
-    best, working = _pass_group_minima(stream, labels, alive)
+    best, working = _pass_group_minima(stream, labels, alive, discarded)
     stream.end_pass(working)
     phase2 = {e for (_, e) in best.values()}
     spanner |= phase2

@@ -1,0 +1,273 @@
+"""Property tests for the vectorized distance/sketch layer.
+
+Every array-native fast path introduced by the distance-layer rework is
+cross-checked here against an independently-written pure-Python reference:
+
+* ``build_bunches_batched`` (level-batched numpy frontier relaxation) vs
+  ``build_bunches_reference`` (per-center dict/heapq truncated Dijkstra) —
+  bit-identical bunch sets *and* distances;
+* batched ``pairwise_distances`` / ``batched_sssp`` vs ``sssp_reference``;
+* the vectorized ``query_many`` vs scalar ``query``;
+* the cached scipy CSR and vectorized edge-lookup helpers on
+  ``WeightedGraph``.
+
+Random seeds sweep several graph shapes, including disconnected graphs and
+the k=1 edge case (full APSP bunches).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import DistanceSketch
+from repro.distances.sketches import (
+    build_bunches_batched,
+    build_bunches_reference,
+)
+from repro.graphs import (
+    WeightedGraph,
+    batched_sssp,
+    bfs_hops,
+    erdos_renyi,
+    k_hop_ball,
+    pairwise_distances,
+    sssp,
+    sssp_reference,
+)
+
+
+def _random_graph(seed: int) -> WeightedGraph:
+    """A varied workload: dense/sparse ER, sometimes disconnected."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(20, 120))
+    p = float(rng.uniform(0.02, 0.2))
+    g = erdos_renyi(n, p, weights="uniform", rng=seed)
+    if seed % 3 == 0:
+        # Two disjoint copies plus isolated vertices.
+        u = np.concatenate([g.edges_u, g.edges_u + n])
+        v = np.concatenate([g.edges_v, g.edges_v + n])
+        w = np.concatenate([g.edges_w, g.edges_w])
+        g = WeightedGraph(2 * n + 3, u, v, w)
+    return g
+
+
+class TestBunchBuilders:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_batched_matches_reference(self, seed, k):
+        g = _random_graph(seed)
+        sk = DistanceSketch(g, k, rng=seed)
+        ref = build_bunches_reference(g, sk.levels, sk.pivot_dist)
+        got = sk.bunch  # compatibility view over the CSR arrays
+        assert len(got) == g.n
+        for v in range(g.n):
+            assert got[v] == ref[v]  # same centers, bit-identical distances
+
+    def test_csr_arrays_consistent(self):
+        g = _random_graph(1)
+        sk = DistanceSketch(g, 3, rng=1)
+        indptr, centers, dists = build_bunches_batched(
+            g, sk.levels, sk.pivot_dist
+        )
+        assert np.array_equal(indptr, sk.bunch_indptr)
+        assert np.array_equal(centers, sk.bunch_centers)
+        assert np.array_equal(dists, sk.bunch_dists)
+        assert indptr[0] == 0 and indptr[-1] == centers.size
+        for v in range(g.n):
+            span = centers[indptr[v] : indptr[v + 1]]
+            # Centers are sorted per vertex (the query path searchsorts them).
+            assert np.all(np.diff(span) > 0)
+        # Every vertex's bunch contains itself with distance 0 (level 0).
+        self_pos = np.searchsorted(
+            sk._bunch_keys, np.arange(g.n) * np.int64(g.n) + np.arange(g.n)
+        )
+        assert np.all(sk.bunch_dists[self_pos] == 0.0)
+
+    def test_query_many_matches_scalar_query(self):
+        for seed in range(4):
+            g = _random_graph(seed)
+            sk = DistanceSketch(g, 3, rng=seed)
+            rng = np.random.default_rng(seed + 100)
+            pairs = rng.integers(0, g.n, size=(200, 2))
+            batch = sk.query_many(pairs)
+            scalar = np.array([sk.query(int(a), int(b)) for a, b in pairs])
+            assert np.array_equal(batch, scalar)
+
+    def test_disconnected_bunches_stay_local(self):
+        g = _random_graph(3)  # seed % 3 == 0: disconnected by construction
+        sk = DistanceSketch(g, 2, rng=3)
+        ref = build_bunches_reference(g, sk.levels, sk.pivot_dist)
+        for v in range(g.n):
+            assert sk.bunch[v] == ref[v]
+        # Isolated vertices (the last three) know only themselves.
+        for v in range(g.n - 3, g.n):
+            assert sk.bunch[v] == {v: 0.0}
+
+    def test_k1_is_full_apsp(self):
+        g = erdos_renyi(40, 0.3, weights="uniform", rng=9)
+        sk = DistanceSketch(g, 1, rng=9)
+        d = batched_sssp(g, np.arange(g.n))
+        for v in range(g.n):
+            finite = np.flatnonzero(np.isfinite(d[:, v]))
+            assert sorted(sk.bunch[v]) == finite.tolist()
+            for c in finite:
+                assert sk.bunch[v][int(c)] == d[c, v]
+
+
+class TestBatchedDistances:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pairwise_matches_reference_dijkstra(self, seed):
+        g = _random_graph(seed)
+        rng = np.random.default_rng(seed)
+        pairs = rng.integers(0, g.n, size=(50, 2))
+        got = pairwise_distances(g, pairs)
+        for (a, b), val in zip(pairs, got):
+            ref = sssp_reference(g, int(a))[b]
+            assert val == pytest.approx(ref, abs=1e-12) or (
+                np.isinf(val) and np.isinf(ref)
+            )
+
+    def test_batched_sssp_rows_match_sssp(self):
+        g = _random_graph(2)
+        sources = np.array([0, 3, g.n - 1])
+        rows = batched_sssp(g, sources)
+        for j, s in enumerate(sources):
+            assert np.array_equal(rows[j], sssp(g, int(s)))
+
+    def test_batched_sssp_chunking(self, monkeypatch):
+        import repro.graphs.distances as dmod
+
+        g = _random_graph(4)
+        sources = np.arange(g.n)
+        expect = batched_sssp(g, sources)
+        # Force tiny chunks; results must be unchanged.
+        monkeypatch.setattr(dmod, "_CHUNK_ENTRIES", 1)
+        assert np.array_equal(dmod.batched_sssp(g, sources), expect)
+
+    def test_batched_sssp_empty_graph(self):
+        g = WeightedGraph.from_edges(5, [])
+        rows = batched_sssp(g, np.array([1, 4]))
+        assert rows[0, 1] == 0.0 and np.isinf(rows[0, 0])
+        assert rows[1, 4] == 0.0 and np.isinf(rows[1, 2])
+
+    def test_batched_sssp_rejects_bad_source(self):
+        g = _random_graph(5)
+        with pytest.raises(ValueError):
+            batched_sssp(g, np.array([0, g.n]))
+
+    def test_iter_sssp_chunks_covers_all_sources(self, monkeypatch):
+        import repro.graphs.distances as dmod
+
+        g = _random_graph(6)
+        sources = np.arange(g.n)
+        expect = batched_sssp(g, sources)
+        monkeypatch.setattr(dmod, "_CHUNK_ENTRIES", 1)  # one source per block
+        offsets = []
+        for lo, rows in dmod.iter_sssp_chunks(g, sources):
+            offsets.append((lo, rows.shape[0]))
+            assert np.array_equal(rows, expect[lo : lo + rows.shape[0]])
+        assert sum(c for _, c in offsets) == g.n
+
+    def test_oracle_query_many_survives_cache_clear(self):
+        from repro.distances import SpannerDistanceOracle
+
+        g = erdos_renyi(60, 0.15, weights="uniform", rng=21)
+        o = SpannerDistanceOracle(g, rng=21)
+        # Pre-cache source 5, then force the bounded cache to evict it in
+        # the same query_many call that still needs it.
+        before = o.query(5, 7)
+        o._cache.update({10_000 + i: o._cache[5] for i in range(4096)})
+        got = o.query_many([[5, 7], [6, 8]])
+        assert got[0] == before
+        assert got[1] == o.query(6, 8)
+
+
+class TestGraphLookups:
+    def test_edge_ids_for_roundtrip(self):
+        g = _random_graph(6)
+        ids = g.edge_ids_for(g.edges_u, g.edges_v)
+        assert np.array_equal(ids, np.arange(g.m))
+        # Swapped endpoints canonicalize to the same ids.
+        ids_swapped = g.edge_ids_for(g.edges_v, g.edges_u)
+        assert np.array_equal(ids_swapped, np.arange(g.m))
+
+    def test_edge_ids_for_missing(self):
+        g = WeightedGraph.from_edges(4, [(0, 1, 1.0), (2, 3, 2.0)])
+        ids = g.edge_ids_for([0, 0, 2], [1, 2, 3])
+        assert ids.tolist() == [0, -1, 1]
+
+    def test_edge_ids_for_matches_dict_map(self):
+        g = _random_graph(7)
+        idx = g.edge_index_map()
+        us = g.edges_u
+        vs = g.edges_v
+        ids = g.edge_ids_for(us, vs)
+        for a, b, i in zip(us.tolist(), vs.tolist(), ids.tolist()):
+            assert idx[(a, b)] == i
+
+    def test_to_scipy_cached(self):
+        g = _random_graph(8)
+        assert g.to_scipy() is g.to_scipy()
+
+    def test_has_edge_subset_weight_mismatch(self):
+        g = WeightedGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        h_ok = WeightedGraph.from_edges(3, [(0, 1, 1.0)])
+        h_bad = WeightedGraph.from_edges(3, [(0, 1, 1.5)])
+        assert g.has_edge_subset(h_ok)
+        assert not g.has_edge_subset(h_bad)
+        assert g.has_edge_subset(WeightedGraph.from_edges(3, []))
+
+
+class TestFrontierGathers:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bfs_hops_matches_reference(self, seed):
+        g = _random_graph(seed)
+        csr = g.csr
+        for s in (0, g.n // 2):
+            got = bfs_hops(g, s)
+            # Simple reference BFS.
+            ref = np.full(g.n, -1, dtype=np.int64)
+            ref[s] = 0
+            frontier = [s]
+            level = 0
+            while frontier:
+                level += 1
+                nxt = []
+                for x in frontier:
+                    for y in csr.indices[csr.indptr[x] : csr.indptr[x + 1]]:
+                        if ref[y] == -1:
+                            ref[y] = level
+                            nxt.append(int(y))
+                frontier = nxt
+            assert np.array_equal(got, ref)
+
+    def test_k_hop_ball_order_matches_reference(self):
+        for seed in range(4):
+            g = _random_graph(seed)
+            csr = g.csr
+            for hops in (0, 1, 3):
+                got = k_hop_ball(g, 0, hops).tolist()
+                seen = {0}
+                order = [0]
+                frontier = [0]
+                for _ in range(hops):
+                    nxt = []
+                    for x in frontier:
+                        for y in csr.indices[csr.indptr[x] : csr.indptr[x + 1]]:
+                            y = int(y)
+                            if y not in seen:
+                                seen.add(y)
+                                order.append(y)
+                                nxt.append(y)
+                    if not nxt:
+                        break
+                    frontier = nxt
+                assert got == order
+
+    def test_k_hop_ball_cap_exact(self):
+        g = erdos_renyi(60, 0.2, rng=3)
+        ball = k_hop_ball(g, 0, 10, cap=7)
+        assert ball.size == 7
+        # No duplicates under the cap.
+        assert len(set(ball.tolist())) == 7

@@ -30,9 +30,25 @@ def _check_invariant(edges: EdgeSet, labels: np.ndarray) -> None:
 class TestEdgeSet:
     def test_alive_view_shrinks(self, er_weighted):
         es = _edges_from_graph(er_weighted)
-        es.alive[:10] = False
+        es.kill(np.arange(10))
         assert es.num_alive == er_weighted.m - 10
         assert es.alive_view()[0].size == er_weighted.m - 10
+
+    def test_kill_idempotent_and_cached_count(self, er_weighted):
+        es = _edges_from_graph(er_weighted)
+        es.kill(np.array([3, 3, 5]))
+        assert es.num_alive == er_weighted.m - 2
+        es.kill(np.array([3, 5]))  # already dead: count unchanged
+        assert es.num_alive == er_weighted.m - 2
+        assert es.num_alive == int(es.alive.sum())
+        es.kill_all()
+        assert es.num_alive == 0 and not es.alive.any()
+
+    def test_refresh_after_direct_write(self, er_weighted):
+        es = _edges_from_graph(er_weighted)
+        es.alive[:7] = False
+        es.refresh_alive_count()
+        assert es.num_alive == er_weighted.m - 7
 
     def test_default_eids_positional(self, small_weighted):
         es = _edges_from_graph(small_weighted)
@@ -214,6 +230,6 @@ class TestPhase2:
 
     def test_empty_ok(self, small_weighted):
         es = _edges_from_graph(small_weighted)
-        es.alive[:] = False
+        es.kill_all()
         out = phase2_edges(es, np.zeros(small_weighted.n, dtype=np.int64))
         assert out.size == 0
