@@ -10,12 +10,12 @@ Run:  python examples/mpc_cluster_simulation.py
 """
 
 from repro.core import mpc_rounds_bound, stretch_bound
-from repro.graphs import edge_stretch, erdos_renyi
+from repro.graphs import build_graph_from_spec, edge_stretch
 from repro.mpc_impl import apsp_mpc, spanner_mpc
 
 
 def main() -> None:
-    g = erdos_renyi(800, 0.04, weights="uniform", rng=11)
+    g = build_graph_from_spec("er:800:0.04", weights="uniform", seed=11)
     k, t = 8, 3
     print(f"graph: n={g.n}, m={g.m};  spanner parameters k={k}, t={t}")
     print(f"stretch guarantee: {stretch_bound(k, t):.1f}\n")
@@ -25,11 +25,11 @@ def main() -> None:
     print("-" * len(header))
     for gamma in (0.3, 0.5, 0.7):
         res = spanner_mpc(g, k, t, gamma=gamma, rng=5)
-        mpc = res.extra["mpc"]
+        mpc = res.mpc_stats
         print(
-            f"{gamma:>6} {mpc['num_machines']:>9} {mpc['machine_memory']:>10} "
-            f"{mpc['peak_machine_load']:>10} {mpc['rounds']:>7} "
-            f"{mpc_rounds_bound(k, t, gamma, constant=24.0):>7.0f} {mpc['total_messages']:>10}"
+            f"{gamma:>6} {mpc.num_machines:>9} {mpc.machine_memory:>10} "
+            f"{mpc.peak_machine_load:>10} {mpc.rounds:>7} "
+            f"{mpc_rounds_bound(k, t, gamma, constant=24.0):>7.0f} {mpc.total_messages:>10}"
         )
 
     res = spanner_mpc(g, k, t, gamma=0.5, rng=5)

@@ -1,24 +1,33 @@
 #!/usr/bin/env python
 """Quickstart: build a spanner, check its guarantees, approximate distances.
 
+Uses the unified entry points: graph specs (``repro.graphs.specs``) for the
+workload and the algorithm registry (``repro.registry``) for the
+construction — the same names the ``repro`` CLI and the sweep runner use.
+
 Run:  python examples/quickstart.py
 """
 
-from repro.core import general_tradeoff, stretch_bound
+from repro.core import stretch_bound
 from repro.distances import SpannerDistanceOracle, measure_approximation
-from repro.graphs import edge_stretch, erdos_renyi, verify_spanner
+from repro.graphs import GraphSpec, verify_spanner
+from repro.registry import get_algorithm
 
 
 def main() -> None:
-    # 1. A weighted random graph: 1000 vertices, ~25k edges.
-    g = erdos_renyi(1000, 0.05, weights="uniform", rng=42)
+    # 1. A weighted random graph from a spec string: 1000 vertices, ~25k
+    #    edges.  Same strings the CLI's --graph flag accepts (`repro list`
+    #    shows every family).
+    g = GraphSpec.parse("er:1000:0.05").build(weights="uniform", seed=42)
     print(f"input graph: n={g.n}, m={g.m}")
 
     # 2. Build a spanner with the paper's general tradeoff algorithm
-    #    (Theorem 1.1).  k controls the size target n^{1+1/k}; t trades
-    #    iterations for stretch.
+    #    (Theorem 1.1), resolved by name from the registry.  k controls the
+    #    size target n^{1+1/k}; t trades iterations for stretch.
     k, t = 6, 2
-    result = general_tradeoff(g, k=k, t=t, rng=0)
+    algo = get_algorithm("general")
+    print(f"algorithm: {algo.name} [{algo.model}] — {algo.description}")
+    result = algo.run(g, k=k, t=t, rng=0)
     spanner = result.subgraph(g)
     print(
         f"spanner: {spanner.m} edges ({100 * spanner.m / g.m:.1f}% of input), "

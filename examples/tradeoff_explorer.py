@@ -11,12 +11,12 @@ Run:  python examples/tradeoff_explorer.py [k]
 import sys
 
 from repro.core import general_tradeoff, stretch_bound, total_iterations, tradeoff_table
-from repro.graphs import edge_stretch, erdos_renyi
+from repro.graphs import build_graph_from_spec, edge_stretch
 
 
 def main() -> None:
     k = int(sys.argv[1]) if len(sys.argv) > 1 else 16
-    g = erdos_renyi(800, 0.05, weights="uniform", rng=9)
+    g = build_graph_from_spec("er:800:0.05", weights="uniform", seed=9)
     print(f"graph: n={g.n}, m={g.m};  k={k}\n")
 
     header = (

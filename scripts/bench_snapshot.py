@@ -1,12 +1,19 @@
 #!/usr/bin/env python
-"""Dump distance-layer benchmark timings to ``BENCH_distance_layer.json``.
+"""Dump benchmark timings to the ``BENCH_*.json`` trajectory snapshots.
 
 This is the trajectory-tracking entry point: each run overwrites the JSON
-snapshot at the repo root, so the perf numbers future PRs must defend are
+snapshot(s) at the repo root, so the perf numbers future PRs must defend are
 always one command away::
 
-    python scripts/bench_snapshot.py            # full acceptance-scale run
-    python scripts/bench_snapshot.py --smoke    # tiny-n sanity run
+    python scripts/bench_snapshot.py                    # distance-layer suite
+    python scripts/bench_snapshot.py --suite runner     # experiment-runner suite
+    python scripts/bench_snapshot.py --suite all        # everything
+    python scripts/bench_snapshot.py --smoke            # tiny-n sanity run
+
+Suites and their artifacts:
+
+* ``distance`` -> ``BENCH_distance_layer.json`` (sketch/pairwise speedups)
+* ``runner``   -> ``BENCH_runner.json`` (sweep parallel speedup + resume)
 
 No PYTHONPATH fiddling needed — the script wires up ``src`` and
 ``benchmarks`` itself.
@@ -23,31 +30,77 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
 
-from bench_distance_layer import format_table, run_distance_layer_bench  # noqa: E402
+
+def _write(record: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
 
 
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--smoke", action="store_true", help="tiny-n smoke run")
-    ap.add_argument(
-        "--out",
-        default=os.path.join(REPO_ROOT, "BENCH_distance_layer.json"),
-        help="output JSON path (default: BENCH_distance_layer.json at repo root)",
-    )
-    args = ap.parse_args()
+def _run_distance(args) -> int:
+    from bench_distance_layer import format_table, run_distance_layer_bench
 
     record = run_distance_layer_bench(smoke=args.smoke)
     print(format_table(record))
-    with open(args.out, "w") as fh:
-        json.dump(record, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {args.out}")
+    _write(record, args.out or os.path.join(REPO_ROOT, "BENCH_distance_layer.json"))
 
     if not args.smoke and record["sketch_preprocess"]["speedup"] < 5.0:
         print("WARNING: sketch preprocessing speedup fell below the 5x gate",
               file=sys.stderr)
         return 1
     return 0
+
+
+def _run_runner(args) -> int:
+    from bench_runner import format_table, run_runner_bench
+
+    record = run_runner_bench(smoke=args.smoke)
+    print(format_table(record))
+    _write(record, args.out or os.path.join(REPO_ROOT, "BENCH_runner.json"))
+
+    if record["resume"]["executed"] != 0:
+        print("WARNING: sweep resume re-executed trials", file=sys.stderr)
+        return 1
+    # Parallel speedup is only a meaningful gate when cores exist to win on.
+    if (
+        not args.smoke
+        and (record["cpu_count"] or 1) >= 2
+        and record["speedup"] < 1.2
+    ):
+        print("WARNING: parallel sweep speedup fell below the 1.2x gate",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+SUITES = {"distance": _run_distance, "runner": _run_runner}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true", help="tiny-n smoke run")
+    ap.add_argument(
+        "--suite",
+        choices=[*SUITES, "all"],
+        default="distance",
+        help="which benchmark suite to run (default: distance)",
+    )
+    ap.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: BENCH_<suite>.json at repo root; "
+        "only valid with a single suite)",
+    )
+    args = ap.parse_args()
+
+    names = list(SUITES) if args.suite == "all" else [args.suite]
+    if args.out and len(names) > 1:
+        ap.error("--out requires a single --suite")
+    rc = 0
+    for name in names:
+        rc |= SUITES[name](args)
+    return rc
 
 
 if __name__ == "__main__":

@@ -19,6 +19,12 @@ Public API overview
     PRAM depth/work accounting for the Section 6 PRAM claim.
 ``repro.distances``
     Spanner-based distance oracles (Corollary 1.4).
+``repro.registry``
+    The unified algorithm registry: every spanner construction and APSP
+    pipeline as a lazily-resolved :class:`~repro.registry.AlgorithmSpec`.
+``repro.runner``
+    Declarative experiment plans executed on a process pool with
+    content-hash resume (``repro sweep``).
 """
 
 __version__ = "1.0.0"

@@ -29,7 +29,7 @@ import numpy as np
 from ..congest.clique import CongestedClique
 from ..core.engine import EdgeSet, run_growth_iterations
 from ..core.params import num_epochs, sampling_probability
-from ..core.results import IterationStats, SpannerResult
+from ..core.results import IterationStats, RoundStats, SpannerResult
 from ..graphs.graph import WeightedGraph
 from ..graphs.quotient import quotient_edges
 
@@ -100,14 +100,16 @@ def spanner_cc(
         repetitions = max(1, math.ceil(math.log2(max(n, 2))))
 
     if k == 1 or g.m == 0:
-        return SpannerResult(
+        res = SpannerResult(
             edge_ids=np.arange(g.m, dtype=np.int64),
             algorithm="spanner-cc",
             k=k,
             t=t,
             iterations=0,
-            extra={"cc": cc.summary(), "rounds": 0, "repetition_retries": 0},
+            extra={"cc": cc.summary(), "repetition_retries": 0},
         )
+        res.round_stats = RoundStats(rounds=0)
+        return res
 
     l = num_epochs(k, t_eff)
     edges = EdgeSet.from_arrays(n, g.edges_u, g.edges_v, g.edges_w)
@@ -195,7 +197,7 @@ def spanner_cc(
         if spanner_parts
         else np.zeros(0, dtype=np.int64)
     )
-    return SpannerResult(
+    res = SpannerResult(
         edge_ids=eids,
         algorithm="spanner-cc",
         k=k,
@@ -205,8 +207,9 @@ def spanner_cc(
         phase2_added=int(extra_edges.size),
         extra={
             "cc": cc.summary(),
-            "rounds": cc.rounds,
             "repetition_retries": retries,
             "repetitions": repetitions,
         },
     )
+    res.round_stats = RoundStats(rounds=cc.rounds)
+    return res

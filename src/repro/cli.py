@@ -1,9 +1,9 @@
-"""Command-line interface: ``python -m repro <command> ...``.
+"""Command-line interface: ``repro <command> ...`` (or ``python -m repro``).
 
 Commands
 --------
 ``spanner``
-    Build a spanner with any of the paper's algorithms and report
+    Build a spanner with any registered algorithm and report
     size/stretch/iterations.
 ``apsp``
     Run the Corollary 1.4 (MPC) or Corollary 1.5 (Congested Clique)
@@ -13,103 +13,105 @@ Commands
 ``mpc``
     Run the Section 6 machine-level implementation and report the
     simulated cluster accounting.
+``list``
+    Show every registered algorithm and graph-spec family.
+``sweep``
+    Execute an :class:`~repro.runner.plan.ExperimentPlan` (JSON file) on a
+    process pool, with content-hash resume and JSON/CSV artifacts.
 
-Graphs are generated on the fly from ``--graph`` specs like ``er:512:0.06``
-(Erdős–Rényi), ``ba:512:3`` (Barabási–Albert), ``grid:20:25``,
-``geo:512:0.1`` (random geometric), or ``cliques:16:8``.
+Algorithms come from :mod:`repro.registry`; graphs are generated on the fly
+from ``--graph`` specs like ``er:512:0.06`` or loaded from disk with
+``file:<path>`` (see :mod:`repro.graphs.specs`; ``repro list`` shows every
+family).  ``spanner`` and ``apsp`` take ``--json`` for machine-readable
+output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-import numpy as np
-
-from .core import (
-    baswana_sen,
-    cluster_merging,
-    general_tradeoff,
-    stretch_bound,
-    tradeoff_table,
-    two_phase_contraction,
-    unweighted_spanner,
-)
-from .graphs import (
-    WeightedGraph,
-    barabasi_albert,
-    edge_stretch,
-    erdos_renyi,
-    grid_graph,
-    random_geometric,
-    ring_of_cliques,
-)
+from .registry import algorithm_names, get_algorithm, iter_algorithms, ALIASES
 
 __all__ = ["main", "build_graph"]
 
-ALGORITHMS = {
-    "baswana-sen": lambda g, k, t, rng: baswana_sen(g, k, rng=rng),
-    "cluster-merging": lambda g, k, t, rng: cluster_merging(g, k, rng=rng),
-    "two-phase": lambda g, k, t, rng: two_phase_contraction(g, k, rng=rng),
-    "general": lambda g, k, t, rng: general_tradeoff(g, k, t, rng=rng),
-    "unweighted": lambda g, k, t, rng: unweighted_spanner(g, k, rng=rng),
-    "streaming": None,  # resolved lazily to avoid import cost
-}
 
+def build_graph(spec: str, *, weights: str = "uniform", seed: int = 0):
+    """Parse a ``family:arg1:arg2`` graph spec and build the graph.
 
-def build_graph(spec: str, *, weights: str = "uniform", seed: int = 0) -> WeightedGraph:
-    """Parse a ``family:arg1:arg2`` graph spec."""
-    parts = spec.split(":")
-    fam = parts[0]
+    Thin compatibility wrapper over :class:`repro.graphs.specs.GraphSpec`
+    that reports spec problems as ``SystemExit`` (CLI semantics).
+    """
+    from .graphs.specs import GraphSpec, GraphSpecError
+
     try:
-        if fam == "er":
-            return erdos_renyi(int(parts[1]), float(parts[2]), weights=weights, rng=seed)
-        if fam == "ba":
-            return barabasi_albert(int(parts[1]), int(parts[2]), weights=weights, rng=seed)
-        if fam == "grid":
-            return grid_graph(int(parts[1]), int(parts[2]), weights=weights, rng=seed)
-        if fam == "geo":
-            return random_geometric(int(parts[1]), float(parts[2]), weights=weights, rng=seed)
-        if fam == "cliques":
-            return ring_of_cliques(int(parts[1]), int(parts[2]), weights=weights, rng=seed)
-    except (IndexError, ValueError) as exc:
-        raise SystemExit(f"bad graph spec {spec!r}: {exc}") from exc
-    raise SystemExit(f"unknown graph family {fam!r} (er|ba|grid|geo|cliques)")
+        return GraphSpec.parse(spec).build(weights=weights, seed=seed)
+    except GraphSpecError as exc:
+        raise SystemExit(f"bad graph spec: {exc}") from exc
+
+
+def _spanner_algorithm_choices() -> list[str]:
+    """Canonical spanner names plus their aliases (old names keep working)."""
+    names = algorithm_names("spanner")
+    aliases = sorted(
+        a for a, target in ALIASES.items() if get_algorithm(target).kind == "spanner"
+    )
+    return names + aliases
 
 
 def _cmd_spanner(args) -> int:
-    weights = "unit" if args.algorithm == "unweighted" else args.weights
+    algo = get_algorithm(args.algorithm)
+    weights = args.weights if algo.weighted else "unit"
     g = build_graph(args.graph, weights=weights, seed=args.seed)
-    if args.algorithm == "streaming":
-        from .streaming import streaming_spanner
-
-        res = streaming_spanner(g, args.k, rng=args.seed)
-    else:
-        res = ALGORITHMS[args.algorithm](g, args.k, args.t, args.seed)
+    res = algo.run(g, k=args.k, t=args.t, rng=args.seed)
     h = res.subgraph(g)
+
+    from .graphs import edge_stretch
+
     rep = edge_stretch(g, h)
+    if args.json:
+        record = res.to_record()
+        record.update(
+            {
+                "algorithm": algo.name,
+                "graph": args.graph,
+                "graph_n": g.n,
+                "graph_m": g.m,
+                "seed": args.seed,
+                "weights": weights,
+                "max_stretch": float(rep.max_stretch),
+                "mean_stretch": float(rep.mean_stretch),
+            }
+        )
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+
     print(f"graph: n={g.n} m={g.m}")
     print(f"algorithm: {res.algorithm}  k={args.k}  t={res.t}")
     print(f"spanner: {h.m} edges ({100 * h.m / max(g.m, 1):.1f}% kept)")
     print(f"iterations: {res.iterations}")
     print(f"stretch: max {rep.max_stretch:.3f}  mean {rep.mean_stretch:.4f}")
-    if args.algorithm == "general":
+    if algo.name == "general":
+        from .core import stretch_bound
+
         print(f"guarantee: {stretch_bound(args.k, args.t):.1f}")
-    if "stream" in res.extra:
-        print(f"stream passes: {res.extra['stream']['passes']}")
+    stream = res.stream_stats
+    if stream is not None:
+        print(f"stream passes: {stream.passes}")
+    mpc = res.mpc_stats
+    if mpc is not None:
+        print(f"simulated rounds: {mpc.rounds}  peak load: {mpc.peak_machine_load}")
     return 0
 
 
 def _cmd_apsp(args) -> int:
+    import numpy as np
+
     g = build_graph(args.graph, weights=args.weights, seed=args.seed)
-    if args.model == "mpc":
-        from .mpc_impl import apsp_mpc
+    pipeline = get_algorithm("apsp-mpc" if args.model == "mpc" else "apsp-cc")
+    res = pipeline.run(g, rng=args.seed)
 
-        res = apsp_mpc(g, rng=args.seed)
-    else:
-        from .cc_impl import apsp_cc
-
-        res = apsp_cc(g, rng=args.seed)
     from .graphs import apsp as exact_apsp
 
     d = exact_apsp(g)
@@ -118,6 +120,26 @@ def _cmd_apsp(args) -> int:
     base = d[iu]
     mask = np.isfinite(base) & (base > 0)
     ratios = a[iu][mask] / base[mask]
+    if args.json:
+        record = {
+            "model": args.model,
+            "graph": args.graph,
+            "graph_n": g.n,
+            "graph_m": g.m,
+            "seed": args.seed,
+            "k": res.k,
+            "t": res.t,
+            "rounds": res.rounds,
+            "collection_rounds": res.collection_rounds,
+            "spanner_edges": res.spanner.m,
+            "guaranteed_stretch": float(res.guaranteed_stretch),
+        }
+        if mask.any():
+            record["max_approximation"] = float(ratios.max())
+            record["mean_approximation"] = float(ratios.mean())
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+
     print(f"graph: n={g.n} m={g.m}  model={args.model}")
     print(f"parameters: k={res.k} t={res.t}")
     print(f"rounds: {res.rounds} (collection {res.collection_rounds})")
@@ -131,6 +153,8 @@ def _cmd_apsp(args) -> int:
 
 
 def _cmd_tradeoff(args) -> int:
+    from .core import tradeoff_table
+
     print(f"Theorem 1.1 tradeoff for k={args.k}:")
     for row in tradeoff_table(args.k):
         print(
@@ -146,13 +170,122 @@ def _cmd_mpc(args) -> int:
 
     g = build_graph(args.graph, weights=args.weights, seed=args.seed)
     res = spanner_mpc(g, args.k, args.t, gamma=args.gamma, rng=args.seed)
-    mpc = res.extra["mpc"]
+    mpc = res.mpc_stats
     print(f"graph: n={g.n} m={g.m}   gamma={args.gamma}")
-    print(f"machines: {mpc['num_machines']}  local memory: {mpc['machine_memory']} words")
-    print(f"peak machine load: {mpc['peak_machine_load']} words")
-    print(f"simulated rounds: {mpc['rounds']}  messages: {mpc['total_messages']}")
+    print(f"machines: {mpc.num_machines}  local memory: {mpc.machine_memory} words")
+    print(f"peak machine load: {mpc.peak_machine_load} words")
+    print(f"simulated rounds: {mpc.rounds}  messages: {mpc.total_messages}")
     print(f"spanner: {res.num_edges} edges in {res.iterations} iterations")
     return 0
+
+
+def _cmd_list(args) -> int:
+    from .graphs.specs import GRAPH_FAMILIES
+
+    if args.json:
+        payload = {
+            "algorithms": [
+                {
+                    "name": s.name,
+                    "model": s.model,
+                    "kind": s.kind,
+                    "requires_t": s.requires_t,
+                    "weighted": s.weighted,
+                    "description": s.description,
+                }
+                for s in iter_algorithms()
+            ],
+            "aliases": dict(sorted(ALIASES.items())),
+            "graph_families": [
+                {
+                    "name": f.name,
+                    "signature": f.signature,
+                    "example": f.example,
+                    "description": f.description,
+                }
+                for _, f in sorted(GRAPH_FAMILIES.items())
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print("algorithms:")
+    for spec in iter_algorithms():
+        flags = [spec.model, spec.kind]
+        if spec.requires_t:
+            flags.append("uses-t")
+        if not spec.weighted:
+            flags.append("unweighted-only")
+        print(f"  {spec.name:<16} [{', '.join(flags)}] {spec.description}")
+    print("aliases:")
+    for alias, target in sorted(ALIASES.items()):
+        print(f"  {alias:<24} -> {target}")
+    print("graph families:")
+    for _, fam in sorted(GRAPH_FAMILIES.items()):
+        print(f"  {fam.signature:<28} e.g. {fam.example:<18} {fam.description}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .runner import ExperimentPlan, run_plan
+
+    try:
+        plan = ExperimentPlan.load(args.plan)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot load plan {args.plan!r}: {exc}") from exc
+    try:
+        trials = plan.trials()
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"bad plan {args.plan!r}: {exc}") from exc
+
+    if args.dry_run:
+        print(f"plan {plan.name!r}: {len(trials)} trials")
+        for trial in trials:
+            print(
+                f"  {trial.trial_id}  {trial.algorithm:<16} {trial.graph:<20} "
+                f"k={trial.k} t={trial.t} seed={trial.seed} weights={trial.weights}"
+            )
+        return 0
+
+    def progress(record, done, total):
+        status = record.get("error") or (
+            f"{record.get('num_edges', '?')} edges in {record.get('elapsed_s', 0):.3f}s"
+        )
+        print(f"[{done}/{total}] {record['algorithm']} {record['graph']} "
+              f"seed={record['seed']}: {status}")
+
+    result = run_plan(
+        plan,
+        jobs=args.jobs,
+        out_dir=args.out,
+        resume=not args.no_resume,
+        progress=None if args.json else progress,
+    )
+    errors = sum(1 for r in result.records if "error" in r)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "plan": plan.name,
+                    "trials": result.total,
+                    "executed": result.executed,
+                    "skipped": result.skipped,
+                    "errors": errors,
+                    "wall_seconds": round(result.wall_seconds, 3),
+                    "out_dir": result.out_dir,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"sweep {plan.name!r}: {result.total} trials "
+            f"({result.executed} executed, {result.skipped} resumed, "
+            f"{errors} errors) in {result.wall_seconds:.2f}s"
+        )
+        if result.out_dir:
+            print(f"artifacts: {result.out_dir}/results.json, {result.out_dir}/results.csv")
+    return 1 if errors else 0
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -169,14 +302,22 @@ def make_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("spanner", help="build one spanner")
     common(sp)
-    sp.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="general")
+    sp.add_argument(
+        "--algorithm",
+        choices=_spanner_algorithm_choices(),
+        default="general",
+        metavar="ALGO",
+        help="registry name or alias (see `repro list`)",
+    )
     sp.add_argument("-k", type=int, default=8)
     sp.add_argument("-t", type=int, default=2)
+    sp.add_argument("--json", action="store_true", help="machine-readable output")
     sp.set_defaults(fn=_cmd_spanner)
 
     sp = sub.add_parser("apsp", help="run an APSP pipeline")
     common(sp)
     sp.add_argument("--model", choices=["mpc", "cc"], default="mpc")
+    sp.add_argument("--json", action="store_true", help="machine-readable output")
     sp.set_defaults(fn=_cmd_apsp)
 
     sp = sub.add_parser("tradeoff", help="print the closed-form tradeoff table")
@@ -189,6 +330,21 @@ def make_parser() -> argparse.ArgumentParser:
     sp.add_argument("-t", type=int, default=3)
     sp.add_argument("--gamma", type=float, default=0.5)
     sp.set_defaults(fn=_cmd_mpc)
+
+    sp = sub.add_parser("list", help="show registered algorithms + graph families")
+    sp.add_argument("--json", action="store_true", help="machine-readable output")
+    sp.set_defaults(fn=_cmd_list)
+
+    sp = sub.add_parser("sweep", help="run an experiment plan (JSON) in parallel")
+    sp.add_argument("--plan", required=True, help="path to an ExperimentPlan JSON file")
+    sp.add_argument("--jobs", type=int, default=1, help="worker processes")
+    sp.add_argument("--out", default=None, help="artifact directory (enables resume)")
+    sp.add_argument(
+        "--no-resume", action="store_true", help="re-run trials even if artifacts exist"
+    )
+    sp.add_argument("--dry-run", action="store_true", help="list trials, run nothing")
+    sp.add_argument("--json", action="store_true", help="summary as JSON")
+    sp.set_defaults(fn=_cmd_sweep)
     return p
 
 

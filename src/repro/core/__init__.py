@@ -37,7 +37,7 @@ from .params import (
     total_iterations,
     tradeoff_table,
 )
-from .results import IterationStats, SpannerResult
+from .results import IterationStats, MPCRunStats, RoundStats, SpannerResult, StreamStats
 from .unweighted import unweighted_spanner
 
 __all__ = [
@@ -56,6 +56,9 @@ __all__ = [
     "run_growth_iterations",
     "phase2_edges",
     "IterationStats",
+    "MPCRunStats",
+    "RoundStats",
+    "StreamStats",
     "SpannerResult",
     "TradeoffPoint",
     "apsp_parameters",

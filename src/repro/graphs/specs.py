@@ -1,0 +1,313 @@
+"""Graph specs: every generator family reachable from one string format.
+
+A *graph spec* is a colon-separated string ``family:arg1:arg2`` naming one
+of the generator families in :mod:`repro.graphs.generators` (or an on-disk
+edge list via ``file:<path>``).  :class:`GraphSpec` parses, validates,
+builds, and re-formats specs, giving the CLI and the experiment runner one
+shared vocabulary for workloads::
+
+    er:512:0.06      Erdős–Rényi G(512, 0.06)
+    gnm:512:4000     uniform random graph with exactly 4000 edges
+    ba:512:3         Barabási–Albert, attach 3
+    geo:512:0.1      random geometric, radius 0.1
+    grid:20:25       20 x 25 grid
+    torus:20:25      grid with wraparound
+    cliques:16:8     ring of 16 cliques of size 8
+    complete:64      K_64
+    cycle:128        one 128-cycle
+    double-cycle:128 two disjoint 64-cycles
+    path:128         a path
+    star:128         a star
+    tree:256         uniform random recursive tree
+    girth:256:4      near-girth-conjecture-density hard instance (unit weights)
+    file:g.edges     weighted edge list loaded via repro.graphs.io
+
+Parsing and formatting round-trip: ``GraphSpec.parse(s).format() == s`` for
+canonical specs, and re-parsing a formatted spec yields an equal
+:class:`GraphSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "GraphSpecError",
+    "GraphFamily",
+    "GraphSpec",
+    "GRAPH_FAMILIES",
+    "graph_family_names",
+    "build_graph_from_spec",
+]
+
+
+class GraphSpecError(ValueError):
+    """A graph spec failed to parse, validate, or build."""
+
+
+@dataclass(frozen=True)
+class GraphFamily:
+    """One spec family: argument schema + builder.
+
+    ``params`` is a tuple of ``(name, converter)`` pairs; converters raise
+    ``ValueError`` on malformed input.  ``build(args, weights, seed)``
+    returns a :class:`~repro.graphs.graph.WeightedGraph`; families that
+    ignore ``weights``/``seed`` (``girth``, ``file``) say so in their
+    description.
+    """
+
+    name: str
+    params: tuple[tuple[str, Callable], ...]
+    build: Callable
+    description: str
+    example: str
+
+    @property
+    def signature(self) -> str:
+        """Human-readable spec shape, e.g. ``er:<n>:<p>``."""
+        parts = [self.name] + [f"<{p}>" for p, _ in self.params]
+        return ":".join(parts)
+
+
+def _format_arg(value) -> str:
+    """Canonical text for one spec argument (floats via repr round-trip)."""
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A parsed, validated graph spec (family + typed arguments)."""
+
+    family: str
+    args: tuple
+
+    @classmethod
+    def parse(cls, text: str) -> "GraphSpec":
+        """Parse ``family:arg1:...`` into a validated :class:`GraphSpec`.
+
+        Raises :class:`GraphSpecError` on an unknown family, wrong arity,
+        or an argument that fails its converter.
+        """
+        text = text.strip()
+        if not text:
+            raise GraphSpecError("empty graph spec")
+        head, _, rest = text.partition(":")
+        if head not in GRAPH_FAMILIES:
+            known = "|".join(graph_family_names())
+            raise GraphSpecError(f"unknown graph family {head!r} ({known})")
+        fam = GRAPH_FAMILIES[head]
+        if head == "file":
+            # Paths may themselves contain ':'; everything after the first
+            # separator is the path.
+            if not rest:
+                raise GraphSpecError("file spec needs a path: file:<path>")
+            return cls(family=head, args=(rest,))
+        raw = rest.split(":") if rest else []
+        if len(raw) != len(fam.params):
+            raise GraphSpecError(
+                f"{head} expects {len(fam.params)} args ({fam.signature}), "
+                f"got {len(raw)} in {text!r}"
+            )
+        args = []
+        for (pname, conv), token in zip(fam.params, raw):
+            try:
+                args.append(conv(token))
+            except ValueError as exc:
+                raise GraphSpecError(
+                    f"bad {pname}={token!r} in graph spec {text!r}: {exc}"
+                ) from exc
+        return cls(family=head, args=tuple(args))
+
+    def format(self) -> str:
+        """Canonical spec string; ``GraphSpec.parse`` round-trips it."""
+        return ":".join([self.family] + [_format_arg(a) for a in self.args])
+
+    def build(self, *, weights: str = "unit", seed=0):
+        """Build the graph (validated arguments can still fail semantic
+        checks inside the generator, reported as :class:`GraphSpecError`)."""
+        fam = GRAPH_FAMILIES[self.family]
+        try:
+            return fam.build(self.args, weights, seed)
+        except (ValueError, OSError) as exc:
+            raise GraphSpecError(f"cannot build {self.format()!r}: {exc}") from exc
+
+
+def _gen(maker):
+    """Adapt ``generator(*args, weights=..., rng=seed)`` to the family
+    builder signature."""
+
+    def build(args, weights, seed):
+        return maker(*args, weights=weights, rng=seed)
+
+    return build
+
+
+def _positive_int(token: str) -> int:
+    value = int(token)
+    if value <= 0:
+        raise ValueError("must be a positive integer")
+    return value
+
+
+def _nonneg_int(token: str) -> int:
+    value = int(token)
+    if value < 0:
+        raise ValueError("must be a non-negative integer")
+    return value
+
+
+def _probability(token: str) -> float:
+    value = float(token)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError("must be in [0, 1]")
+    return value
+
+
+def _positive_float(token: str) -> float:
+    value = float(token)
+    if value <= 0:
+        raise ValueError("must be positive")
+    return value
+
+
+def _build_girth(args, weights, seed):
+    from .generators import hard_girth_instance
+
+    return hard_girth_instance(*args, rng=seed)
+
+
+def _build_file(args, weights, seed):
+    from .io import read_edgelist
+
+    return read_edgelist(args[0])
+
+
+def _families() -> dict[str, GraphFamily]:
+    from . import generators as g  # late import: keeps module import order flexible
+
+    fams = [
+        GraphFamily(
+            "er",
+            (("n", _positive_int), ("p", _probability)),
+            _gen(g.erdos_renyi),
+            "Erdős–Rényi G(n, p) random graph.",
+            "er:512:0.06",
+        ),
+        GraphFamily(
+            "gnm",
+            (("n", _positive_int), ("m", _nonneg_int)),
+            _gen(g.gnm_random),
+            "Uniform random graph with exactly m distinct edges.",
+            "gnm:512:4000",
+        ),
+        GraphFamily(
+            "ba",
+            (("n", _positive_int), ("attach", _positive_int)),
+            _gen(g.barabasi_albert),
+            "Barabási–Albert preferential attachment (skewed degrees).",
+            "ba:512:3",
+        ),
+        GraphFamily(
+            "geo",
+            (("n", _positive_int), ("radius", _positive_float)),
+            _gen(g.random_geometric),
+            "Random geometric graph on the unit square (road-network-like).",
+            "geo:512:0.1",
+        ),
+        GraphFamily(
+            "grid",
+            (("rows", _positive_int), ("cols", _positive_int)),
+            _gen(g.grid_graph),
+            "rows x cols grid — high girth, spanners must keep almost all.",
+            "grid:20:25",
+        ),
+        GraphFamily(
+            "torus",
+            (("rows", _positive_int), ("cols", _positive_int)),
+            _gen(g.torus_graph),
+            "Grid with wraparound edges in both dimensions.",
+            "torus:20:25",
+        ),
+        GraphFamily(
+            "cliques",
+            (("num_cliques", _positive_int), ("clique_size", _positive_int)),
+            _gen(g.ring_of_cliques),
+            "Ring of cliques joined by bridges — contraction's best case.",
+            "cliques:16:8",
+        ),
+        GraphFamily(
+            "complete",
+            (("n", _positive_int),),
+            _gen(g.complete_graph),
+            "Complete graph K_n — spanners discard almost everything.",
+            "complete:64",
+        ),
+        GraphFamily(
+            "cycle",
+            (("n", _positive_int),),
+            _gen(g.cycle_graph),
+            "A single n-cycle (n >= 3).",
+            "cycle:128",
+        ),
+        GraphFamily(
+            "double-cycle",
+            (("n", _positive_int),),
+            _gen(g.double_cycle),
+            "Two disjoint n/2-cycles — the conditional-lower-bound instance.",
+            "double-cycle:128",
+        ),
+        GraphFamily(
+            "path",
+            (("n", _positive_int),),
+            _gen(g.path_graph),
+            "A simple path.",
+            "path:128",
+        ),
+        GraphFamily(
+            "star",
+            (("n", _positive_int),),
+            _gen(g.star_graph),
+            "Star graph — the ball-growing request-explosion example.",
+            "star:128",
+        ),
+        GraphFamily(
+            "tree",
+            (("n", _positive_int),),
+            _gen(g.random_tree),
+            "Uniform random recursive tree (its own unique spanner).",
+            "tree:256",
+        ),
+        GraphFamily(
+            "girth",
+            (("n", _positive_int), ("k", _positive_int)),
+            _build_girth,
+            "Near-girth-conjecture-density hard instance (unit weights only).",
+            "girth:256:4",
+        ),
+        GraphFamily(
+            "file",
+            (("path", str),),
+            _build_file,
+            "Weighted edge list loaded via repro.graphs.io (weights/seed ignored).",
+            "file:graph.edges",
+        ),
+    ]
+    return {f.name: f for f in fams}
+
+
+#: Family name -> :class:`GraphFamily`; every generator in
+#: :mod:`repro.graphs.generators` is reachable from here.
+GRAPH_FAMILIES: dict[str, GraphFamily] = _families()
+
+
+def graph_family_names() -> list[str]:
+    """Sorted spec family names."""
+    return sorted(GRAPH_FAMILIES)
+
+
+def build_graph_from_spec(text: str, *, weights: str = "unit", seed=0):
+    """One-shot convenience: parse + build."""
+    return GraphSpec.parse(text).build(weights=weights, seed=seed)

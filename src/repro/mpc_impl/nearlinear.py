@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.general_tradeoff import general_tradeoff
-from ..core.results import SpannerResult
+from ..core.results import RoundStats, SpannerResult
 from ..graphs.graph import WeightedGraph
 
 __all__ = ["spanner_mpc_nearlinear"]
@@ -75,7 +75,7 @@ def spanner_mpc_nearlinear(
     contractions = len(res.extra.get("epoch_contractions", []))
     rounds = ROUNDS_PER_ITERATION * res.iterations + ROUNDS_PER_CONTRACTION * contractions
     res.algorithm = "spanner-mpc-nearlinear"
-    res.extra["rounds"] = rounds
+    res.round_stats = RoundStats(rounds=rounds)
     res.extra["mpc_nearlinear"] = {
         "machine_memory_words": int(machine_words),
         "num_machines": g.n,

@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.params import num_epochs, sampling_probability
-from ..core.results import IterationStats, SpannerResult
+from ..core.results import IterationStats, MPCRunStats, RoundStats, SpannerResult
 from ..graphs.graph import WeightedGraph
 from ..mpc.config import MPCConfig
 from ..mpc.primitives import join_lookup, sort_table
@@ -93,14 +93,16 @@ def spanner_mpc(
     sim = MPCSimulator(config)
 
     if k == 1 or g.m == 0:
-        return SpannerResult(
+        res = SpannerResult(
             edge_ids=np.arange(g.m, dtype=np.int64),
             algorithm="spanner-mpc",
             k=k,
             t=t,
             iterations=0,
-            extra={"mpc": sim.summary(), "rounds": 0},
         )
+        res.mpc_stats = MPCRunStats(**sim.summary())
+        res.round_stats = RoundStats(rounds=0)
+        return res
 
     # Distributed state: node table (super-node -> cluster label) and edge
     # table over current super-node ids with provenance eids.
@@ -318,7 +320,7 @@ def spanner_mpc(
         if spanner_parts
         else np.zeros(0, dtype=np.int64)
     )
-    return SpannerResult(
+    res = SpannerResult(
         edge_ids=eids,
         algorithm="spanner-mpc",
         k=k,
@@ -326,5 +328,7 @@ def spanner_mpc(
         iterations=iterations_run,
         stats=stats,
         phase2_added=int(extra.size),
-        extra={"mpc": sim.summary(), "rounds": sim.rounds},
     )
+    res.mpc_stats = MPCRunStats(**sim.summary())
+    res.round_stats = RoundStats(rounds=sim.rounds)
+    return res

@@ -1,0 +1,383 @@
+"""Unified algorithm registry: every construction in the repo, one API.
+
+The paper's point is that *one* growth engine instantiates many algorithms
+across many compute models (in-memory, streaming, MPC, Congested Clique,
+PRAM).  This module is the discoverable surface for that claim: every
+spanner construction and APSP pipeline registers an :class:`AlgorithmSpec`
+here, and the CLI, the experiment runner, and library users all resolve
+algorithms by name through :func:`get_algorithm`.
+
+Registration is *lazy*: a spec stores a loader that imports the implementing
+module only when the algorithm is first resolved, so ``import repro.registry``
+(and therefore ``repro --help``) stays cheap no matter how many heavyweight
+model simulators the repo grows.
+
+Every resolved algorithm has the uniform signature ``run(g, k, t, rng)``
+(``t`` and ``rng`` may be ``None``); model-specific knobs (``gamma``,
+``quantize_eps``, ...) keep their library entry points.
+
+Examples
+--------
+>>> from repro.registry import get_algorithm
+>>> from repro.graphs import erdos_renyi
+>>> spec = get_algorithm("cluster-merging")
+>>> res = spec.run(erdos_renyi(64, 0.2, rng=0), k=3, rng=0)
+>>> res.algorithm
+'cluster-merging'
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = [
+    "AlgorithmSpec",
+    "register_spanner",
+    "register_apsp",
+    "get_algorithm",
+    "iter_algorithms",
+    "algorithm_names",
+    "resolve_name",
+    "ALIASES",
+]
+
+#: Compute models an algorithm can target.
+MODELS = ("in-memory", "streaming", "mpc", "congested-clique", "pram")
+
+
+@dataclass
+class AlgorithmSpec:
+    """One registered algorithm.
+
+    Attributes
+    ----------
+    name:
+        Canonical registry key (also the CLI ``--algorithm`` choice).
+    model:
+        Compute model the construction is analysed in (one of
+        :data:`MODELS`).
+    kind:
+        ``"spanner"`` (returns a :class:`~repro.core.results.SpannerResult`)
+        or ``"apsp"`` (returns an APSP pipeline result with ``.rounds``,
+        ``.spanner``, ``.all_pairs()``).
+    loader:
+        Zero-argument callable returning the uniform ``run(g, k, t, rng)``
+        callable; imported lazily and cached.
+    requires_t:
+        Whether the algorithm consumes the growth parameter ``t``
+        (``t=None`` always falls back to the paper's default choice).
+    weighted:
+        Whether the construction handles weighted graphs (``False`` means
+        unit weights are forced, e.g. Theorem 1.3's unweighted algorithm).
+    description:
+        One line for ``repro list``.
+    """
+
+    name: str
+    model: str
+    kind: str
+    loader: Callable[[], Callable]
+    requires_t: bool = False
+    weighted: bool = True
+    description: str = ""
+    _resolved: Callable | None = field(default=None, repr=False, compare=False)
+
+    def resolve(self) -> Callable:
+        """Import (once) and return the uniform ``run(g, k, t, rng)``."""
+        if self._resolved is None:
+            self._resolved = self.loader()
+        return self._resolved
+
+    def run(self, g, k: int | None = None, t: int | None = None, rng=None):
+        """Build on ``g`` with the uniform argument set.
+
+        ``k`` is required for spanner constructions; APSP pipelines default
+        ``k``/``t`` to the Section 7 parameters for ``g.n`` when omitted.
+        """
+        if k is None and self.kind == "spanner":
+            raise ValueError(f"algorithm {self.name!r} requires k")
+        return self.resolve()(g, k, t, rng)
+
+
+_REGISTRY: dict[str, AlgorithmSpec] = {}
+
+#: Alias -> canonical name.  Covers the historical CLI names and the
+#: ``SpannerResult.algorithm`` strings the implementations report, so a
+#: result can always be mapped back to its registry entry.
+ALIASES: dict[str, str] = {}
+
+
+def _register(spec: AlgorithmSpec, aliases: tuple[str, ...]) -> AlgorithmSpec:
+    if spec.model not in MODELS:
+        raise ValueError(f"unknown model {spec.model!r} (expected one of {MODELS})")
+    if spec.name in _REGISTRY:
+        raise ValueError(f"duplicate algorithm name {spec.name!r}")
+    _REGISTRY[spec.name] = spec
+    for alias in aliases:
+        if alias != spec.name:
+            ALIASES[alias] = spec.name
+    return spec
+
+
+def _register_kind(
+    kind: str,
+    name: str,
+    *,
+    model: str,
+    requires_t: bool,
+    weighted: bool,
+    description: str,
+    aliases: tuple[str, ...],
+    loader: Callable[[], Callable] | None,
+):
+    """Shared decorator/direct plumbing behind :func:`register_spanner`
+    and :func:`register_apsp`."""
+
+    def _spec(ldr):
+        return _register(
+            AlgorithmSpec(
+                name=name,
+                model=model,
+                kind=kind,
+                loader=ldr,
+                requires_t=requires_t,
+                weighted=weighted,
+                description=description,
+            ),
+            aliases,
+        )
+
+    if loader is not None:
+        return _spec(loader)
+
+    def deco(fn):
+        _spec(lambda: fn)
+        return fn
+
+    return deco
+
+
+def register_spanner(
+    name: str,
+    *,
+    model: str = "in-memory",
+    requires_t: bool = False,
+    weighted: bool = True,
+    description: str = "",
+    aliases: tuple[str, ...] = (),
+    loader: Callable[[], Callable] | None = None,
+):
+    """Register a spanner construction under ``name``.
+
+    Two forms:
+
+    * decorator — ``@register_spanner("mine", model="in-memory")`` above a
+      function with the uniform ``(g, k, t, rng)`` signature;
+    * direct — pass ``loader=`` (a zero-arg callable returning the uniform
+      callable) for lazy built-in registration.
+    """
+    return _register_kind(
+        "spanner",
+        name,
+        model=model,
+        requires_t=requires_t,
+        weighted=weighted,
+        description=description,
+        aliases=aliases,
+        loader=loader,
+    )
+
+
+def register_apsp(
+    name: str,
+    *,
+    model: str,
+    requires_t: bool = True,
+    weighted: bool = True,
+    description: str = "",
+    aliases: tuple[str, ...] = (),
+    loader: Callable[[], Callable] | None = None,
+):
+    """Register an APSP pipeline (same forms as :func:`register_spanner`)."""
+    return _register_kind(
+        "apsp",
+        name,
+        model=model,
+        requires_t=requires_t,
+        weighted=weighted,
+        description=description,
+        aliases=aliases,
+        loader=loader,
+    )
+
+
+def resolve_name(name: str) -> str:
+    """Map ``name`` (canonical or alias) to the canonical registry key."""
+    if name in _REGISTRY:
+        return name
+    if name in ALIASES:
+        return ALIASES[name]
+    known = ", ".join(sorted(_REGISTRY))
+    raise KeyError(f"unknown algorithm {name!r} (known: {known})")
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up an :class:`AlgorithmSpec` by canonical name or alias."""
+    return _REGISTRY[resolve_name(name)]
+
+
+def iter_algorithms(kind: str | None = None) -> list[AlgorithmSpec]:
+    """All registered specs (optionally filtered by kind), sorted by name."""
+    return [
+        _REGISTRY[n]
+        for n in sorted(_REGISTRY)
+        if kind is None or _REGISTRY[n].kind == kind
+    ]
+
+
+def algorithm_names(kind: str | None = None) -> list[str]:
+    """Sorted canonical names (optionally filtered by kind)."""
+    return [s.name for s in iter_algorithms(kind)]
+
+
+def _lazy(module: str, build: Callable) -> Callable[[], Callable]:
+    """Loader that imports ``module`` (relative to this package) on demand
+    and asks ``build`` to wrap it into the uniform signature."""
+
+    def loader():
+        mod = importlib.import_module(module, package=__package__)
+        return build(mod)
+
+    return loader
+
+
+# --------------------------------------------------------------------------
+# Built-in registrations.  All lazy: nothing below imports numpy-heavy
+# algorithm modules until the algorithm is actually resolved.
+# --------------------------------------------------------------------------
+
+register_spanner(
+    "baswana-sen",
+    model="in-memory",
+    description="Classic (2k-1)-spanner baseline (t = k-1 extreme).",
+    aliases=("bs",),
+    loader=_lazy(".core", lambda m: lambda g, k, t, rng: m.baswana_sen(g, k, rng=rng)),
+)
+
+register_spanner(
+    "cluster-merging",
+    model="in-memory",
+    description="Section 4: O(log k) iterations, stretch O(k^{log 3}).",
+    loader=_lazy(
+        ".core", lambda m: lambda g, k, t, rng: m.cluster_merging(g, k, rng=rng)
+    ),
+)
+
+register_spanner(
+    "two-phase",
+    model="in-memory",
+    description="Section 3: O(sqrt(k)) iterations, stretch O(k).",
+    aliases=("two-phase-contraction",),
+    loader=_lazy(
+        ".core", lambda m: lambda g, k, t, rng: m.two_phase_contraction(g, k, rng=rng)
+    ),
+)
+
+register_spanner(
+    "general",
+    model="in-memory",
+    requires_t=True,
+    description="Section 5 / Theorem 1.1: full t-vs-stretch tradeoff.",
+    aliases=("general-tradeoff",),
+    loader=_lazy(
+        ".core", lambda m: lambda g, k, t, rng: m.general_tradeoff(g, k, t, rng=rng)
+    ),
+)
+
+register_spanner(
+    "unweighted",
+    model="in-memory",
+    weighted=False,
+    description="Appendix B / Theorem 1.3: unweighted O(k) stretch in O(log k) rounds.",
+    aliases=("unweighted-py18",),
+    loader=_lazy(
+        ".core", lambda m: lambda g, k, t, rng: m.unweighted_spanner(g, k, rng=rng)
+    ),
+)
+
+register_spanner(
+    "streaming",
+    model="streaming",
+    description="Section 2.4: t=1 contraction spanner in ceil(log2 k)+1 passes.",
+    aliases=("streaming-spanner",),
+    loader=_lazy(
+        ".streaming", lambda m: lambda g, k, t, rng: m.streaming_spanner(g, k, rng=rng)
+    ),
+)
+
+register_spanner(
+    "mpc",
+    model="mpc",
+    requires_t=True,
+    description="Section 6: general algorithm under sublinear-memory MPC accounting.",
+    aliases=("spanner-mpc", "mpc-sublinear"),
+    loader=_lazy(
+        ".mpc_impl", lambda m: lambda g, k, t, rng: m.spanner_mpc(g, k, t, rng=rng)
+    ),
+)
+
+register_spanner(
+    "mpc-nearlinear",
+    model="mpc",
+    requires_t=True,
+    description="Near-linear MPC regime: O(1) rounds per logical iteration.",
+    aliases=("spanner-mpc-nearlinear",),
+    loader=_lazy(
+        ".mpc_impl",
+        lambda m: lambda g, k, t, rng: m.spanner_mpc_nearlinear(g, k, t, rng=rng),
+    ),
+)
+
+register_spanner(
+    "cc",
+    model="congested-clique",
+    requires_t=True,
+    description="Theorem 8.1: spanner under Congested Clique accounting.",
+    aliases=("spanner-cc", "congested-clique"),
+    loader=_lazy(
+        ".cc_impl", lambda m: lambda g, k, t, rng: m.spanner_cc(g, k, t, rng=rng)
+    ),
+)
+
+register_spanner(
+    "pram",
+    model="pram",
+    requires_t=True,
+    description="Section 6 PRAM claim: depth/work accounting for the general algorithm.",
+    aliases=("spanner-pram",),
+    loader=_lazy(
+        ".pram", lambda m: lambda g, k, t, rng: m.spanner_pram(g, k, t, rng=rng)
+    ),
+)
+
+register_apsp(
+    "apsp-mpc",
+    model="mpc",
+    description="Corollary 1.4: spanner + collection APSP pipeline under MPC.",
+    aliases=("mpc-apsp",),
+    loader=_lazy(
+        ".mpc_impl", lambda m: lambda g, k, t, rng: m.apsp_mpc(g, k=k, t=t, rng=rng)
+    ),
+)
+
+register_apsp(
+    "apsp-cc",
+    model="congested-clique",
+    description="Corollary 1.5: spanner + collection APSP pipeline on the clique.",
+    aliases=("cc-apsp",),
+    loader=_lazy(
+        ".cc_impl", lambda m: lambda g, k, t, rng: m.apsp_cc(g, k=k, t=t, rng=rng)
+    ),
+)

@@ -1,0 +1,12 @@
+"""Parallel experiment runner: declarative sweeps over the algorithm registry.
+
+``ExperimentPlan`` describes a cartesian sweep (algorithms x graphs x
+parameters x seeds); ``run_plan`` executes it on a process pool with
+content-hash-keyed resume and JSON/CSV artifacts.  See EXPERIMENTS.md for
+the protocol and ``repro sweep`` for the CLI entry point.
+"""
+
+from .plan import ExperimentPlan, TrialSpec
+from .execute import PlanResult, run_plan, run_trial
+
+__all__ = ["ExperimentPlan", "TrialSpec", "PlanResult", "run_plan", "run_trial"]

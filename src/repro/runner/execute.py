@@ -1,0 +1,239 @@
+"""Parallel sweep execution with content-hash resume.
+
+:func:`run_plan` drives the trials of an :class:`~repro.runner.plan.ExperimentPlan`
+on a ``ProcessPoolExecutor`` (``jobs=1`` runs inline, no pool overhead),
+writing one JSON record per trial under ``out/trials/<trial_id>.json`` as it
+completes.  Because trial ids are content hashes of the full configuration,
+re-running the same plan finds the finished artifacts and skips them —
+interrupting a 500-trial sweep costs only the trials in flight.
+
+Aggregate artifacts (``results.json``, ``results.csv``) are rewritten from
+the per-trial records at the end of every run, so they always reflect the
+union of completed work.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..graphs.specs import GraphSpec
+from ..registry import get_algorithm
+from .plan import ExperimentPlan, TrialSpec
+
+__all__ = ["PlanResult", "run_trial", "run_plan"]
+
+#: Columns every record starts with, in table order; remaining keys follow
+#: alphabetically.
+_LEAD_COLUMNS = (
+    "trial_id",
+    "algorithm",
+    "graph",
+    "k",
+    "t",
+    "seed",
+    "weights",
+    "graph_n",
+    "graph_m",
+    "elapsed_s",
+)
+
+
+@dataclass
+class PlanResult:
+    """Outcome of one :func:`run_plan` call."""
+
+    records: list = field(default_factory=list)
+    executed: int = 0
+    skipped: int = 0
+    wall_seconds: float = 0.0
+    out_dir: str | None = None
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.skipped
+
+
+def run_trial(trial: TrialSpec) -> dict:
+    """Execute one trial and return its flat record.
+
+    Top-level (picklable) so it can cross a process-pool boundary.  Errors
+    are captured into the record (``error`` key) rather than raised — one
+    pathological configuration must not kill a sweep.
+    """
+    record = {"trial_id": trial.trial_id, **trial.to_json()}
+    try:
+        algo = get_algorithm(trial.algorithm)
+        weights = trial.weights if algo.weighted else "unit"
+        g = GraphSpec.parse(trial.graph).build(weights=weights, seed=trial.seed)
+        record["graph_n"] = g.n
+        record["graph_m"] = g.m
+
+        start = time.perf_counter()
+        result = algo.run(g, k=trial.k, t=trial.t, rng=trial.seed)
+        record["elapsed_s"] = round(time.perf_counter() - start, 6)
+
+        if algo.kind == "spanner":
+            record.update(result.to_record())
+            # to_record() reports the implementation's own label (e.g.
+            # "general-tradeoff"); keep the registry name as the join key.
+            record["algorithm_impl"] = record["algorithm"]
+            record["algorithm"] = trial.algorithm
+            if trial.verify_pairs > 0:
+                from ..graphs.validation import sampled_pair_stretch
+
+                rep = sampled_pair_stretch(
+                    g, result.subgraph(g), trial.verify_pairs, rng=trial.seed
+                )
+                record["max_stretch"] = float(rep.max_stretch)
+                record["mean_stretch"] = float(rep.mean_stretch)
+                record["stretch_pairs"] = int(rep.num_checked)
+        else:  # APSP pipeline result
+            record.update(
+                {
+                    "algorithm": trial.algorithm,
+                    "k": result.k,
+                    "t": result.t,
+                    "rounds": result.rounds,
+                    "collection_rounds": result.collection_rounds,
+                    "num_edges": result.spanner.m,
+                    "guaranteed_stretch": float(result.guaranteed_stretch),
+                }
+            )
+    except Exception as exc:  # pragma: no cover - exercised via error tests
+        record["error"] = f"{type(exc).__name__}: {exc}"
+    return record
+
+
+def _trial_path(out_dir: Path, trial_id: str) -> Path:
+    return out_dir / "trials" / f"{trial_id}.json"
+
+
+def _write_record(out_dir: Path | None, record: dict) -> None:
+    if out_dir is None:
+        return
+    path = _trial_path(out_dir, record["trial_id"])
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)  # atomic: a crash never leaves a half-written artifact
+
+
+def _load_completed(out_dir: Path | None, trials: list[TrialSpec]) -> dict:
+    """Map trial_id -> record for artifacts that already exist (and parse)."""
+    if out_dir is None:
+        return {}
+    completed = {}
+    for trial in trials:
+        path = _trial_path(out_dir, trial.trial_id)
+        if path.exists():
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue  # corrupt artifact: re-run the trial
+            if "error" not in record:
+                completed[trial.trial_id] = record
+    return completed
+
+
+def _columns(records: list[dict]) -> list[str]:
+    keys = set()
+    for record in records:
+        keys.update(record)
+    rest = sorted(keys.difference(_LEAD_COLUMNS))
+    return [c for c in _LEAD_COLUMNS if c in keys] + rest
+
+
+def _write_aggregates(out_dir: Path, plan: ExperimentPlan, records: list[dict]) -> None:
+    payload = {
+        "plan": plan.to_json(),
+        "num_trials": len(records),
+        "records": records,
+    }
+    (out_dir / "results.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    cols = _columns(records)
+    with (out_dir / "results.csv").open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=cols, extrasaction="ignore")
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record)
+
+
+def run_plan(
+    plan: ExperimentPlan,
+    *,
+    jobs: int = 1,
+    out_dir=None,
+    resume: bool = True,
+    progress=None,
+) -> PlanResult:
+    """Run every trial of ``plan``; return records plus execution counts.
+
+    Parameters
+    ----------
+    plan:
+        The sweep specification (validated before anything runs).
+    jobs:
+        Worker processes.  ``1`` executes inline in this process —
+        deterministic ordering, no pool overhead, easiest to debug.
+    out_dir:
+        Artifact directory.  Created if missing; per-trial records land in
+        ``out_dir/trials/``, aggregates in ``out_dir/results.{json,csv}``.
+        ``None`` keeps everything in memory (no resume).
+    resume:
+        When true (default), trials whose artifact already exists under
+        ``out_dir`` are skipped and their records reused.
+    progress:
+        Optional ``callback(record, done, total)`` invoked per completed
+        trial (the CLI uses it for live output).
+    """
+    start = time.perf_counter()
+    trials = plan.trials()
+
+    out_path: Path | None = None
+    if out_dir is not None:
+        out_path = Path(out_dir)
+        (out_path / "trials").mkdir(parents=True, exist_ok=True)
+        plan.save(out_path / "plan.json")
+
+    completed = _load_completed(out_path, trials) if resume else {}
+    pending = [t for t in trials if t.trial_id not in completed]
+
+    records_by_id = dict(completed)
+    done = len(completed)
+    total = len(trials)
+
+    def _finish(record: dict) -> None:
+        nonlocal done
+        done += 1
+        records_by_id[record["trial_id"]] = record
+        _write_record(out_path, record)
+        if progress is not None:
+            progress(record, done, total)
+
+    if jobs <= 1 or len(pending) <= 1:
+        for trial in pending:
+            _finish(run_trial(trial))
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {pool.submit(run_trial, trial): trial for trial in pending}
+            for future in as_completed(futures):
+                _finish(future.result())
+
+    # Aggregate in plan order, not completion order.
+    records = [records_by_id[t.trial_id] for t in trials if t.trial_id in records_by_id]
+    if out_path is not None:
+        _write_aggregates(out_path, plan, records)
+
+    return PlanResult(
+        records=records,
+        executed=len(pending),
+        skipped=len(completed),
+        wall_seconds=time.perf_counter() - start,
+        out_dir=str(out_path) if out_path is not None else None,
+    )

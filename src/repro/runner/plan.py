@@ -1,0 +1,177 @@
+"""Experiment plans: declarative cartesian sweeps over the registry.
+
+An :class:`ExperimentPlan` names lists of algorithms, graph specs, ``k``/``t``
+values, weight models, and seeds; :meth:`ExperimentPlan.trials` expands the
+cartesian product into concrete :class:`TrialSpec` rows.  Every trial has a
+deterministic *content-hash id* derived from its full configuration, which is
+what makes sweep resume possible: a re-run of the same plan maps onto the
+same ids and skips every trial whose artifact already exists.
+
+Plans are plain JSON on disk::
+
+    {
+      "name": "smoke",
+      "algorithms": ["general", "streaming"],
+      "graphs": ["er:256:0.05", "grid:16:16"],
+      "ks": [4, 8],
+      "seeds": [0, 1],
+      "verify_pairs": 64
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..graphs.specs import GraphSpec
+from ..registry import get_algorithm, resolve_name
+
+__all__ = ["TrialSpec", "ExperimentPlan"]
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One fully-specified trial: algorithm x graph x parameters x seed."""
+
+    algorithm: str
+    graph: str
+    k: int | None
+    t: int | None
+    seed: int
+    weights: str = "uniform"
+    verify_pairs: int = 0
+
+    @property
+    def trial_id(self) -> str:
+        """Content hash of the configuration — the resume key."""
+        payload = json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TrialSpec":
+        return cls(
+            algorithm=data["algorithm"],
+            graph=data["graph"],
+            k=data.get("k"),
+            t=data.get("t"),
+            seed=int(data.get("seed", 0)),
+            weights=data.get("weights", "uniform"),
+            verify_pairs=int(data.get("verify_pairs", 0)),
+        )
+
+
+@dataclass
+class ExperimentPlan:
+    """A cartesian sweep specification.
+
+    Attributes
+    ----------
+    algorithms:
+        Registry names (canonical or alias) — spanners and/or APSP
+        pipelines.
+    graphs:
+        Graph spec strings (see :mod:`repro.graphs.specs`).
+    ks, ts, seeds, weights:
+        Parameter axes; the product of all axes is the trial set.  ``None``
+        in ``ks``/``ts`` means "paper default" (APSP pipelines accept it;
+        spanners require a concrete ``k``).
+    verify_pairs:
+        When positive, each spanner trial additionally measures sampled
+        stretch over this many random pairs.
+    name:
+        Label recorded in artifacts.
+    """
+
+    algorithms: list = field(default_factory=list)
+    graphs: list = field(default_factory=list)
+    ks: list = field(default_factory=lambda: [8])
+    ts: list = field(default_factory=lambda: [None])
+    seeds: list = field(default_factory=lambda: [0])
+    weights: list = field(default_factory=lambda: ["uniform"])
+    verify_pairs: int = 0
+    name: str = "sweep"
+
+    def validate(self) -> None:
+        """Resolve every algorithm and parse every graph spec up front, so
+        a bad plan fails before any trial runs."""
+        if not self.algorithms:
+            raise ValueError("plan has no algorithms")
+        if not self.graphs:
+            raise ValueError("plan has no graphs")
+        for name in self.algorithms:
+            spec = get_algorithm(name)  # raises KeyError on unknown names
+            if spec.kind == "spanner" and all(k is None for k in self.ks):
+                raise ValueError(f"spanner algorithm {name!r} needs a concrete k")
+        for text in self.graphs:
+            GraphSpec.parse(text)
+
+    def trials(self) -> list[TrialSpec]:
+        """Expand the cartesian product into concrete trials.
+
+        Normalizations applied per trial (so the content hash reflects what
+        actually runs): algorithm aliases resolve to canonical names; graph
+        specs re-format canonically; unweighted-only algorithms force
+        ``weights='unit'``; algorithms that ignore ``t`` get ``t=None``.
+        """
+        self.validate()
+        rows: list[TrialSpec] = []
+        seen: set[str] = set()
+        for name in self.algorithms:
+            algo = get_algorithm(name)
+            for graph in self.graphs:
+                canonical_graph = GraphSpec.parse(graph).format()
+                for k in self.ks:
+                    for t in self.ts if algo.requires_t else [None]:
+                        for wmodel in self.weights if algo.weighted else ["unit"]:
+                            for seed in self.seeds:
+                                trial = TrialSpec(
+                                    algorithm=resolve_name(name),
+                                    graph=canonical_graph,
+                                    k=k,
+                                    t=t,
+                                    seed=seed,
+                                    weights=wmodel,
+                                    verify_pairs=self.verify_pairs,
+                                )
+                                if trial.trial_id not in seen:
+                                    seen.add(trial.trial_id)
+                                    rows.append(trial)
+        return rows
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "algorithms": list(self.algorithms),
+            "graphs": list(self.graphs),
+            "ks": list(self.ks),
+            "ts": list(self.ts),
+            "seeds": list(self.seeds),
+            "weights": list(self.weights),
+            "verify_pairs": self.verify_pairs,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ExperimentPlan":
+        return cls(
+            algorithms=list(data.get("algorithms", [])),
+            graphs=list(data.get("graphs", [])),
+            ks=list(data.get("ks", [8])),
+            ts=list(data.get("ts", [None])),
+            seeds=list(data.get("seeds", [0])),
+            weights=list(data.get("weights", ["uniform"])),
+            verify_pairs=int(data.get("verify_pairs", 0)),
+            name=data.get("name", "sweep"),
+        )
+
+    def save(self, path) -> None:
+        Path(path).write_text(json.dumps(self.to_json(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "ExperimentPlan":
+        return cls.from_json(json.loads(Path(path).read_text()))

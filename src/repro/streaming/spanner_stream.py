@@ -29,7 +29,7 @@ import math
 
 import numpy as np
 
-from ..core.results import IterationStats, SpannerResult
+from ..core.results import IterationStats, SpannerResult, StreamStats
 from ..graphs.graph import WeightedGraph, sorted_lookup
 from .stream import EdgeStream
 
@@ -115,14 +115,15 @@ def streaming_spanner(
     rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
 
     if k == 1 or g.m == 0:
-        return SpannerResult(
+        res = SpannerResult(
             edge_ids=np.arange(g.m, dtype=np.int64),
             algorithm="streaming-spanner",
             k=k,
             t=1,
             iterations=0,
-            extra={"stream": {"passes": 1 if g.m else 0, "peak_working_records": 0}},
         )
+        res.stream_stats = StreamStats(passes=1 if g.m else 0)
+        return res
 
     n = g.n
     stream = EdgeStream(g, chunk=chunk, order_seed=order_seed)
@@ -214,7 +215,7 @@ def streaming_spanner(
     spanner |= phase2
 
     eids = np.array(sorted(spanner), dtype=np.int64)
-    return SpannerResult(
+    res = SpannerResult(
         edge_ids=eids,
         algorithm="streaming-spanner",
         k=k,
@@ -222,12 +223,11 @@ def streaming_spanner(
         iterations=len(stats),
         stats=stats,
         phase2_added=len(phase2),
-        extra={
-            "stream": {
-                "passes": stream.stats.passes,
-                "peak_working_records": stream.stats.peak_working_records,
-                "per_pass_working": stream.stats.per_pass_working,
-                "edges_streamed": stream.stats.edges_streamed,
-            }
-        },
     )
+    res.stream_stats = StreamStats(
+        passes=stream.stats.passes,
+        peak_working_records=stream.stats.peak_working_records,
+        per_pass_working=list(stream.stats.per_pass_working),
+        edges_streamed=stream.stats.edges_streamed,
+    )
+    return res

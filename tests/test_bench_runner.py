@@ -1,0 +1,41 @@
+"""Tier-1 smoke wiring for the runner benchmark.
+
+Runs ``benchmarks/bench_runner.py`` in smoke mode (tiny graphs) on every
+test run: the bench itself asserts that the resume path executes zero
+trials, so a regression in content-hash keying or artifact handling fails
+the suite long before anyone looks at the timing numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+BENCH_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks"
+)
+if BENCH_DIR not in sys.path:
+    sys.path.insert(0, BENCH_DIR)
+
+from bench_runner import format_table, reference_plan, run_runner_bench  # noqa: E402
+
+
+def test_reference_plan_shape():
+    plan = reference_plan(smoke=True)
+    trials = plan.trials()
+    # 3 algorithms x 3 graph families x 2 seeds = the 18-trial protocol.
+    assert len(trials) == 18
+    assert len({t.algorithm for t in trials}) == 3
+    assert len({t.graph for t in trials}) == 3
+    assert len({t.seed for t in trials}) == 2
+
+
+def test_smoke_mode_runs_and_resumes():
+    record = run_runner_bench(smoke=True, jobs=2)
+    assert record["num_trials"] == 18
+    assert record["jobs1"]["executed"] == 18
+    assert record["jobs4"]["executed"] == 18
+    assert record["resume"]["executed"] == 0
+    assert record["resume"]["skipped"] == 18
+    table = format_table(record)
+    assert "resume" in table and "18 trials" in table

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_graph, main
+from repro.registry import algorithm_names
 
 
 class TestBuildGraph:
@@ -25,6 +28,11 @@ class TestBuildGraph:
     def test_cliques(self):
         assert build_graph("cliques:4:5").n == 20
 
+    def test_new_families_reachable(self):
+        assert build_graph("torus:4:5").n == 20
+        assert build_graph("complete:10").n == 10
+        assert build_graph("tree:15", seed=1).n == 15
+
     def test_bad_family(self):
         with pytest.raises(SystemExit):
             build_graph("hypercube:4")
@@ -34,21 +42,48 @@ class TestBuildGraph:
             build_graph("er:notanint:0.5")
 
 
-class TestCommands:
-    def test_spanner_all_algorithms(self, capsys):
-        for algo in ("baswana-sen", "cluster-merging", "two-phase", "general", "streaming"):
+class TestSpanner:
+    def test_spanner_all_registered_algorithms(self, capsys):
+        for algo in algorithm_names("spanner"):
             rc = main(
                 ["spanner", "--graph", "er:80:0.2", "--algorithm", algo, "-k", "3", "--seed", "1"]
             )
             assert rc == 0
             out = capsys.readouterr().out
-            assert "stretch: max" in out
+            assert "stretch: max" in out, algo
+
+    def test_spanner_accepts_alias(self, capsys):
+        rc = main(["spanner", "--graph", "er:60:0.2", "--algorithm", "spanner-mpc", "-k", "3"])
+        assert rc == 0
+        assert "simulated rounds:" in capsys.readouterr().out
 
     def test_spanner_unweighted(self, capsys):
         rc = main(["spanner", "--graph", "er:60:0.2", "--algorithm", "unweighted", "-k", "2"])
         assert rc == 0
         assert "spanner:" in capsys.readouterr().out
 
+    def test_spanner_json(self, capsys):
+        rc = main(
+            ["spanner", "--graph", "grid:6:6", "--algorithm", "streaming", "-k", "4", "--json"]
+        )
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["algorithm"] == "streaming"
+        assert record["graph_n"] == 36
+        assert record["max_stretch"] >= 1.0
+        assert record["stream_passes"] >= 1
+
+    def test_spanner_from_file_spec(self, capsys, tmp_path):
+        from repro.graphs import erdos_renyi, write_edgelist
+
+        path = tmp_path / "g.edges"
+        write_edgelist(erdos_renyi(40, 0.3, weights="uniform", rng=0), path)
+        rc = main(["spanner", "--graph", f"file:{path}", "--algorithm", "general", "-k", "3"])
+        assert rc == 0
+        assert "spanner:" in capsys.readouterr().out
+
+
+class TestApsp:
     def test_apsp_mpc(self, capsys):
         rc = main(["apsp", "--graph", "er:60:0.2", "--model", "mpc"])
         assert rc == 0
@@ -60,18 +95,98 @@ class TestCommands:
         assert rc == 0
         assert "rounds:" in capsys.readouterr().out
 
+    def test_apsp_json(self, capsys):
+        rc = main(["apsp", "--graph", "er:60:0.2", "--model", "mpc", "--json"])
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["model"] == "mpc"
+        assert record["rounds"] > record["collection_rounds"]
+        assert record["max_approximation"] >= 1.0
+
+
+class TestTradeoff:
     def test_tradeoff(self, capsys):
         rc = main(["tradeoff", "-k", "9"])
         assert rc == 0
         out = capsys.readouterr().out
         assert "t=1" in out and "k^" in out
 
+
+class TestMpc:
     def test_mpc(self, capsys):
         rc = main(["mpc", "--graph", "er:80:0.15", "-k", "4", "-t", "2", "--gamma", "0.5"])
         assert rc == 0
         out = capsys.readouterr().out
         assert "machines:" in out and "simulated rounds:" in out
 
+
+class TestList:
+    def test_list_shows_everything(self, capsys):
+        rc = main(["list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        from repro.graphs import graph_family_names
+
+        for name in algorithm_names():
+            assert name in out
+        for fam in graph_family_names():
+            assert f"{fam}:" in out or f"  {fam}" in out
+        assert "aliases:" in out
+
+    def test_list_json(self, capsys):
+        rc = main(["list", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {a["name"] for a in payload["algorithms"]} == set(algorithm_names())
+        assert {f["name"] for f in payload["graph_families"]} >= {"er", "file", "torus"}
+        assert payload["aliases"]["spanner-mpc"] == "mpc"
+
+
+class TestSweep:
+    @pytest.fixture
+    def plan_file(self, tmp_path):
+        plan = {
+            "name": "cli-test",
+            "algorithms": ["general", "streaming"],
+            "graphs": ["er:48:0.2"],
+            "ks": [3],
+            "seeds": [0, 1],
+        }
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan))
+        return path
+
+    def test_sweep_runs_and_resumes(self, capsys, tmp_path, plan_file):
+        out_dir = tmp_path / "results"
+        rc = main(["sweep", "--plan", str(plan_file), "--out", str(out_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4 trials (4 executed" in out
+        assert (out_dir / "results.csv").exists()
+
+        rc = main(["sweep", "--plan", str(plan_file), "--out", str(out_dir), "--json"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["executed"] == 0 and summary["skipped"] == 4
+
+    def test_sweep_dry_run(self, capsys, plan_file):
+        rc = main(["sweep", "--plan", str(plan_file), "--dry-run"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4 trials" in out and "general" in out
+
+    def test_sweep_missing_plan(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot load plan"):
+            main(["sweep", "--plan", str(tmp_path / "nope.json")])
+
+    def test_sweep_bad_plan(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"algorithms": ["nope"], "graphs": ["er:10:0.5"]}))
+        with pytest.raises(SystemExit, match="bad plan"):
+            main(["sweep", "--plan", str(path)])
+
+
+class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

@@ -1,0 +1,144 @@
+"""Tests for the graph-spec layer: every family parses, builds, round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    GRAPH_FAMILIES,
+    GraphSpec,
+    GraphSpecError,
+    build_graph_from_spec,
+    erdos_renyi,
+    generators,
+    graph_family_names,
+    write_edgelist,
+)
+
+#: One small instance per family: (spec, expected n).
+FAMILY_EXAMPLES = {
+    "er": ("er:50:0.2", 50),
+    "gnm": ("gnm:40:100", 40),
+    "ba": ("ba:40:2", 40),
+    "geo": ("geo:30:0.5", 30),
+    "grid": ("grid:4:5", 20),
+    "torus": ("torus:4:5", 20),
+    "cliques": ("cliques:4:5", 20),
+    "complete": ("complete:12", 12),
+    "cycle": ("cycle:16", 16),
+    "double-cycle": ("double-cycle:16", 16),
+    "path": ("path:9", 9),
+    "star": ("star:9", 9),
+    "tree": ("tree:17", 17),
+    "girth": ("girth:32:3", 32),
+}
+
+
+class TestCoverage:
+    def test_every_generator_family_reachable(self):
+        """Each public generator in graphs.generators has a spec family."""
+        generator_names = {n for n in generators.__all__ if n != "draw_weights"}
+        # 14 generators <-> 14 non-file families, plus the file family.
+        assert len(generator_names) == len(GRAPH_FAMILIES) - 1
+        assert set(FAMILY_EXAMPLES) == set(GRAPH_FAMILIES) - {"file"}
+
+    def test_family_names_sorted(self):
+        assert graph_family_names() == sorted(GRAPH_FAMILIES)
+
+    def test_signatures(self):
+        assert GRAPH_FAMILIES["er"].signature == "er:<n>:<p>"
+        assert GRAPH_FAMILIES["complete"].signature == "complete:<n>"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("family", sorted(FAMILY_EXAMPLES))
+    def test_parse_build_format(self, family):
+        text, n = FAMILY_EXAMPLES[family]
+        spec = GraphSpec.parse(text)
+        assert spec.family == family
+        g = spec.build(weights="unit", seed=3)
+        assert g.n == n
+        # format() is canonical and re-parses to an equal spec.
+        assert GraphSpec.parse(spec.format()) == spec
+        # A rebuilt graph from the formatted spec is identical in shape.
+        g2 = GraphSpec.parse(spec.format()).build(weights="unit", seed=3)
+        assert (g2.n, g2.m) == (g.n, g.m)
+
+    @pytest.mark.parametrize("family", sorted(FAMILY_EXAMPLES))
+    def test_registry_examples_build(self, family):
+        fam = GRAPH_FAMILIES[family]
+        spec = GraphSpec.parse(fam.example)
+        assert spec.build(seed=0).n > 0
+
+    def test_weighted_build(self):
+        g = build_graph_from_spec("er:40:0.3", weights="uniform", seed=1)
+        assert (g.edges_w > 1.0).any()
+
+    def test_seed_reproducible(self):
+        a = build_graph_from_spec("er:64:0.1", seed=5)
+        b = build_graph_from_spec("er:64:0.1", seed=5)
+        c = build_graph_from_spec("er:64:0.1", seed=6)
+        assert a.m == b.m
+        assert (a.edges_u == b.edges_u).all()
+        assert a.m != c.m or (a.edges_u != c.edges_u).any()
+
+
+class TestFileFamily:
+    def test_round_trip(self, tmp_path):
+        g = erdos_renyi(30, 0.2, weights="uniform", rng=0)
+        path = tmp_path / "g.edges"
+        write_edgelist(g, path)
+        spec = GraphSpec.parse(f"file:{path}")
+        assert spec.format() == f"file:{path}"
+        g2 = spec.build()
+        assert (g2.n, g2.m) == (g.n, g.m)
+
+    def test_path_with_colon(self, tmp_path):
+        d = tmp_path / "odd:dir"
+        d.mkdir()
+        g = erdos_renyi(10, 0.5, rng=0)
+        path = d / "g.edges"
+        write_edgelist(g, path)
+        assert GraphSpec.parse(f"file:{path}").build().n == 10
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GraphSpecError, match="cannot build"):
+            GraphSpec.parse(f"file:{tmp_path}/nope.edges").build()
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "hypercube:4",
+            "er:notanint:0.5",
+            "er:10",
+            "er:10:0.5:9",
+            "er:10:1.5",
+            "er:-5:0.5",
+            "geo:0:0.5",
+            "geo:10:-1",
+            "gnm:10:-3",
+            "file:",
+        ],
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(GraphSpecError):
+            GraphSpec.parse(bad)
+
+    def test_build_errors_wrapped(self):
+        # Valid arity/types but semantically impossible: generator raises,
+        # spec layer re-reports as GraphSpecError.
+        with pytest.raises(GraphSpecError, match="cannot build"):
+            GraphSpec.parse("gnm:5:100").build()
+        with pytest.raises(GraphSpecError, match="cannot build"):
+            GraphSpec.parse("cycle:2").build()
+        with pytest.raises(GraphSpecError, match="cannot build"):
+            GraphSpec.parse("double-cycle:7").build()
+
+    def test_error_names_offending_parameter(self):
+        with pytest.raises(GraphSpecError, match="bad p="):
+            GraphSpec.parse("er:10:2.0")
+        with pytest.raises(GraphSpecError, match="expects 2 args"):
+            GraphSpec.parse("grid:4")

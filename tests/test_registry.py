@@ -1,0 +1,141 @@
+"""Tests for the unified algorithm registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import erdos_renyi
+from repro.registry import (
+    ALIASES,
+    AlgorithmSpec,
+    algorithm_names,
+    get_algorithm,
+    iter_algorithms,
+    register_spanner,
+    resolve_name,
+)
+
+EXPECTED_SPANNERS = {
+    "baswana-sen",
+    "cluster-merging",
+    "two-phase",
+    "general",
+    "unweighted",
+    "streaming",
+    "mpc",
+    "mpc-nearlinear",
+    "cc",
+    "pram",
+}
+EXPECTED_APSP = {"apsp-mpc", "apsp-cc"}
+
+
+@pytest.fixture(scope="module")
+def g_weighted():
+    return erdos_renyi(60, 0.2, weights="uniform", rng=1)
+
+
+@pytest.fixture(scope="module")
+def g_unit():
+    return erdos_renyi(60, 0.2, weights="unit", rng=1)
+
+
+class TestCatalog:
+    def test_all_expected_registered(self):
+        assert set(algorithm_names("spanner")) == EXPECTED_SPANNERS
+        assert set(algorithm_names("apsp")) == EXPECTED_APSP
+        assert set(algorithm_names()) == EXPECTED_SPANNERS | EXPECTED_APSP
+
+    def test_sorted_and_described(self):
+        names = algorithm_names()
+        assert names == sorted(names)
+        for spec in iter_algorithms():
+            assert spec.description, spec.name
+            assert spec.kind in ("spanner", "apsp")
+
+    def test_old_cli_names_still_resolve(self):
+        # The exact keys the pre-registry cli.ALGORITHMS dict exposed.
+        for old in ("baswana-sen", "cluster-merging", "two-phase", "general",
+                    "unweighted", "streaming"):
+            assert get_algorithm(old).kind == "spanner"
+
+    def test_result_labels_resolve_via_aliases(self):
+        # SpannerResult.algorithm strings map back to registry entries.
+        for label, expected in [
+            ("streaming-spanner", "streaming"),
+            ("spanner-mpc", "mpc"),
+            ("spanner-cc", "cc"),
+            ("spanner-pram", "pram"),
+            ("unweighted-py18", "unweighted"),
+            ("general-tradeoff", "general"),
+        ]:
+            assert resolve_name(label) == expected
+
+    def test_aliases_point_at_canonical(self):
+        for alias, target in ALIASES.items():
+            assert target in set(algorithm_names()), alias
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            get_algorithm("definitely-not-registered")
+
+
+class TestRun:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SPANNERS))
+    def test_every_spanner_runs(self, name, g_weighted, g_unit):
+        spec = get_algorithm(name)
+        g = g_weighted if spec.weighted else g_unit
+        res = spec.run(g, k=3, rng=1)
+        assert res.num_edges > 0
+        assert resolve_name(res.algorithm) == spec.name
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_APSP))
+    def test_every_apsp_runs_with_default_k(self, name, g_weighted):
+        res = get_algorithm(name).run(g_weighted, rng=1)
+        assert res.rounds > 0
+        assert res.spanner.m > 0
+
+    def test_spanner_requires_k(self, g_weighted):
+        with pytest.raises(ValueError, match="requires k"):
+            get_algorithm("general").run(g_weighted)
+
+    def test_lazy_resolution_cached(self):
+        spec = get_algorithm("baswana-sen")
+        assert spec.resolve() is spec.resolve()
+
+    def test_t_respected_by_general(self, g_weighted):
+        res = get_algorithm("general").run(g_weighted, k=6, t=3, rng=0)
+        assert res.extra["t_effective"] == 3
+
+
+class TestRegisterDecorator:
+    def test_decorator_registers_and_runs(self, g_weighted):
+        import repro.registry as registry
+
+        @register_spanner(
+            "test-identity", model="in-memory", description="keeps every edge"
+        )
+        def identity(g, k, t, rng):
+            import numpy as np
+
+            from repro.core.results import SpannerResult
+
+            return SpannerResult(
+                edge_ids=np.arange(g.m, dtype=np.int64),
+                algorithm="test-identity",
+                k=k,
+                t=t,
+                iterations=0,
+            )
+
+        try:
+            spec = get_algorithm("test-identity")
+            assert isinstance(spec, AlgorithmSpec)
+            assert spec.run(g_weighted, k=2).num_edges == g_weighted.m
+            with pytest.raises(ValueError, match="duplicate"):
+                register_spanner("test-identity", model="in-memory")(identity)
+            with pytest.raises(ValueError, match="unknown model"):
+                register_spanner("test-bad-model", model="quantum")(identity)
+        finally:
+            registry._REGISTRY.pop("test-identity", None)
+            registry._REGISTRY.pop("test-bad-model", None)

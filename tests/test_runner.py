@@ -1,0 +1,183 @@
+"""Tests for the experiment runner: plans, execution, resume, artifacts."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.runner import ExperimentPlan, PlanResult, TrialSpec, run_plan, run_trial
+
+
+def small_plan(**overrides) -> ExperimentPlan:
+    base = dict(
+        algorithms=["general", "streaming"],
+        graphs=["er:64:0.15", "grid:6:6"],
+        ks=[3],
+        seeds=[0, 1],
+        verify_pairs=16,
+        name="test-plan",
+    )
+    base.update(overrides)
+    return ExperimentPlan(**base)
+
+
+class TestPlan:
+    def test_cartesian_expansion(self):
+        trials = small_plan().trials()
+        assert len(trials) == 2 * 2 * 2
+        assert len({t.trial_id for t in trials}) == len(trials)
+
+    def test_trial_id_content_hash(self):
+        a = TrialSpec("general", "er:64:0.15", 3, None, 0)
+        b = TrialSpec("general", "er:64:0.15", 3, None, 0)
+        c = TrialSpec("general", "er:64:0.15", 3, None, 1)
+        assert a.trial_id == b.trial_id
+        assert a.trial_id != c.trial_id
+
+    def test_aliases_normalized_into_ids(self):
+        # Same trial through an alias hashes identically -> resume-safe.
+        t1 = small_plan(algorithms=["general"]).trials()
+        t2 = small_plan(algorithms=["general-tradeoff"]).trials()
+        assert [t.trial_id for t in t1] == [t.trial_id for t in t2]
+
+    def test_unweighted_algorithm_forces_unit(self):
+        trials = small_plan(algorithms=["unweighted"], weights=["uniform"]).trials()
+        assert all(t.weights == "unit" for t in trials)
+
+    def test_t_axis_collapsed_for_t_free_algorithms(self):
+        trials = small_plan(algorithms=["streaming"], ts=[1, 2, 3]).trials()
+        assert len(trials) == 2 * 2  # graphs x seeds; t axis ignored
+
+    def test_t_axis_expands_for_t_algorithms(self):
+        trials = small_plan(algorithms=["general"], ts=[1, 2]).trials()
+        assert len(trials) == 2 * 2 * 2
+
+    def test_json_round_trip(self, tmp_path):
+        plan = small_plan()
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        loaded = ExperimentPlan.load(path)
+        assert loaded == plan
+        assert [t.trial_id for t in loaded.trials()] == [
+            t.trial_id for t in plan.trials()
+        ]
+
+    def test_validate_rejects_bad_plans(self):
+        with pytest.raises(ValueError, match="no algorithms"):
+            ExperimentPlan(graphs=["er:10:0.5"]).trials()
+        with pytest.raises(ValueError, match="no graphs"):
+            ExperimentPlan(algorithms=["general"]).trials()
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            small_plan(algorithms=["nope"]).trials()
+        with pytest.raises(ValueError):
+            small_plan(graphs=["hypercube:4"]).trials()
+        with pytest.raises(ValueError, match="concrete k"):
+            small_plan(ks=[None]).trials()
+
+
+class TestRunTrial:
+    def test_spanner_record(self):
+        record = run_trial(
+            TrialSpec("general", "er:64:0.15", 3, None, 0, "uniform", verify_pairs=16)
+        )
+        assert "error" not in record
+        assert record["algorithm"] == "general"
+        assert record["graph_n"] == 64
+        assert record["num_edges"] > 0
+        assert record["max_stretch"] >= 1.0
+        assert record["elapsed_s"] >= 0
+        json.dumps(record)
+
+    def test_apsp_record(self):
+        record = run_trial(TrialSpec("apsp-mpc", "er:48:0.2", None, None, 0))
+        assert "error" not in record
+        assert record["rounds"] > record["collection_rounds"] >= 1
+        assert record["guaranteed_stretch"] > 1
+
+    def test_error_captured_not_raised(self):
+        # cycle:2 parses arity-wise but cannot build.
+        record = run_trial(TrialSpec("general", "cycle:2", 3, None, 0))
+        assert "error" in record and "cannot build" in record["error"]
+
+
+class TestRunPlan:
+    def test_serial_run_writes_artifacts(self, tmp_path):
+        out = tmp_path / "results"
+        result = run_plan(small_plan(), jobs=1, out_dir=out)
+        assert isinstance(result, PlanResult)
+        assert result.executed == 8 and result.skipped == 0
+        assert (out / "plan.json").exists()
+        assert len(list((out / "trials").glob("*.json"))) == 8
+
+        payload = json.loads((out / "results.json").read_text())
+        assert payload["num_trials"] == 8
+        assert payload["plan"]["name"] == "test-plan"
+
+        with (out / "results.csv").open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 8
+        assert {r["algorithm"] for r in rows} == {"general", "streaming"}
+        assert all(float(r["max_stretch"]) >= 1.0 for r in rows)
+
+    def test_resume_skips_everything(self, tmp_path):
+        out = tmp_path / "results"
+        plan = small_plan()
+        first = run_plan(plan, jobs=1, out_dir=out)
+        again = run_plan(plan, jobs=1, out_dir=out)
+        assert first.executed == 8
+        assert again.executed == 0 and again.skipped == 8
+        assert len(again.records) == 8
+
+    def test_partial_resume(self, tmp_path):
+        out = tmp_path / "results"
+        plan = small_plan()
+        run_plan(plan, jobs=1, out_dir=out)
+        # Drop two artifacts; only those re-run.
+        victims = sorted((out / "trials").glob("*.json"))[:2]
+        for victim in victims:
+            victim.unlink()
+        again = run_plan(plan, jobs=1, out_dir=out)
+        assert again.executed == 2 and again.skipped == 6
+
+    def test_no_resume_flag(self, tmp_path):
+        out = tmp_path / "results"
+        plan = small_plan()
+        run_plan(plan, jobs=1, out_dir=out)
+        again = run_plan(plan, jobs=1, out_dir=out, resume=False)
+        assert again.executed == 8 and again.skipped == 0
+
+    def test_parallel_matches_serial_records(self, tmp_path):
+        plan = small_plan()
+        serial = run_plan(plan, jobs=1, out_dir=tmp_path / "a")
+        parallel = run_plan(plan, jobs=2, out_dir=tmp_path / "b")
+        key = lambda r: r["trial_id"]  # noqa: E731
+        s = {key(r): r["num_edges"] for r in serial.records}
+        p = {key(r): r["num_edges"] for r in parallel.records}
+        assert s == p  # per-trial seeds -> identical results regardless of jobs
+
+    def test_in_memory_run(self):
+        result = run_plan(small_plan(), jobs=1)
+        assert result.out_dir is None
+        assert result.executed == 8
+
+    def test_progress_callback(self, tmp_path):
+        seen = []
+        run_plan(
+            small_plan(),
+            jobs=1,
+            out_dir=tmp_path / "r",
+            progress=lambda rec, done, total: seen.append((done, total)),
+        )
+        assert seen[-1] == (8, 8)
+        assert [d for d, _ in seen] == list(range(1, 9))
+
+    def test_corrupt_artifact_reruns(self, tmp_path):
+        out = tmp_path / "results"
+        plan = small_plan()
+        run_plan(plan, jobs=1, out_dir=out)
+        victim = sorted((out / "trials").glob("*.json"))[0]
+        victim.write_text("{not json")
+        again = run_plan(plan, jobs=1, out_dir=out)
+        assert again.executed == 1 and again.skipped == 7

@@ -1,0 +1,156 @@
+"""Tests for the typed instrumentation records over ``SpannerResult.extra``."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import MPCRunStats, RoundStats, SpannerResult, StreamStats
+from repro.graphs import erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def g():
+    return erdos_renyi(80, 0.15, weights="uniform", rng=2)
+
+
+def _bare_result(**extra) -> SpannerResult:
+    return SpannerResult(
+        edge_ids=np.arange(5, dtype=np.int64),
+        algorithm="test",
+        k=4,
+        t=2,
+        iterations=3,
+        extra=extra,
+    )
+
+
+class TestJsonRoundTrip:
+    def test_mpc(self):
+        stats = MPCRunStats(
+            rounds=7, primitive_calls=3, total_messages=100,
+            peak_machine_load=50, num_machines=4, machine_memory=256, gamma=0.5,
+        )
+        data = stats.to_json()
+        json.dumps(data)  # must be JSON-serializable as-is
+        assert MPCRunStats.from_json(data) == stats
+
+    def test_stream(self):
+        stats = StreamStats(passes=3, peak_working_records=11,
+                            per_pass_working=[4, 11, 2], edges_streamed=300)
+        assert StreamStats.from_json(stats.to_json()) == stats
+
+    def test_rounds(self):
+        stats = RoundStats(rounds=10, collection_rounds=4)
+        assert RoundStats.from_json(stats.to_json()) == stats
+        assert stats.total == 14
+
+    def test_unknown_keys_ignored(self):
+        stats = MPCRunStats.from_json({"rounds": 5, "future_field": "x"})
+        assert stats.rounds == 5
+
+
+class TestAccessors:
+    def test_absent_is_none(self):
+        res = _bare_result()
+        assert res.mpc_stats is None
+        assert res.stream_stats is None
+        assert res.round_stats is None
+
+    def test_setter_stores_plain_dict(self):
+        res = _bare_result()
+        res.mpc_stats = MPCRunStats(rounds=9, num_machines=2)
+        assert isinstance(res.extra["mpc"], dict)  # legacy consumers see a dict
+        assert res.extra["mpc"]["rounds"] == 9
+        assert res.mpc_stats.num_machines == 2
+
+    def test_round_setter_stores_scalar(self):
+        res = _bare_result()
+        res.round_stats = RoundStats(rounds=17)
+        assert res.extra["rounds"] == 17  # legacy key shape preserved
+        assert res.round_stats.rounds == 17
+
+    def test_round_collection_round_trips(self):
+        res = _bare_result()
+        res.round_stats = RoundStats(rounds=10, collection_rounds=3)
+        assert res.extra["rounds"] == 10
+        assert res.round_stats.collection_rounds == 3
+        assert res.round_stats.total == 13
+
+
+class TestProducersExposeTyped:
+    """Every model's result is readable through both the typed accessors
+    and the legacy ``extra`` dict keys."""
+
+    def test_spanner_mpc(self, g):
+        from repro.mpc_impl import spanner_mpc
+
+        res = spanner_mpc(g, 4, 2, rng=0)
+        assert res.mpc_stats.rounds == res.extra["mpc"]["rounds"]
+        assert res.round_stats.rounds == res.extra["rounds"]
+        assert res.mpc_stats.num_machines == res.extra["mpc"]["num_machines"]
+        assert res.mpc_stats.rounds > 0
+
+    def test_streaming(self, g):
+        from repro.streaming import streaming_spanner
+
+        res = streaming_spanner(g, 4, rng=0)
+        assert res.stream_stats.passes == res.extra["stream"]["passes"]
+        assert res.stream_stats.peak_working_records >= 0
+        assert len(res.stream_stats.per_pass_working) == res.stream_stats.passes
+
+    def test_streaming_trivial_k(self, g):
+        from repro.streaming import streaming_spanner
+
+        res = streaming_spanner(g, 1, rng=0)
+        assert res.stream_stats.passes == 1
+
+    def test_spanner_cc(self, g):
+        from repro.cc_impl import spanner_cc
+
+        res = spanner_cc(g, 4, 2, rng=0)
+        assert res.round_stats.rounds == res.extra["rounds"] > 0
+
+    def test_nearlinear(self, g):
+        from repro.mpc_impl import spanner_mpc_nearlinear
+
+        res = spanner_mpc_nearlinear(g, 4, 2, rng=0)
+        assert res.round_stats.rounds == res.extra["rounds"] > 0
+
+
+class TestToRecord:
+    def test_base_fields(self, g):
+        from repro.core import general_tradeoff
+
+        res = general_tradeoff(g, 4, 2, rng=0)
+        record = res.to_record()
+        assert record["algorithm"] == res.algorithm
+        assert record["num_edges"] == res.num_edges
+        assert record["iterations"] == res.iterations
+        assert record["epochs"] == res.epochs_executed()
+
+    def test_nested_extras_flattened_one_level(self, g):
+        from repro.mpc_impl import spanner_mpc
+
+        record = spanner_mpc(g, 4, 2, rng=0).to_record()
+        assert record["mpc_rounds"] == record["rounds"]
+        assert "mpc_peak_machine_load" in record
+
+    def test_non_scalar_extras_dropped(self):
+        res = _bare_result(
+            rounds=3,
+            forest=object(),
+            stream={"passes": 2, "per_pass_working": [1, 2]},
+        )
+        record = res.to_record()
+        assert record["rounds"] == 3
+        assert record["stream_passes"] == 2
+        assert "forest" not in record
+        assert "stream_per_pass_working" not in record
+
+    def test_record_is_json_serializable(self, g):
+        from repro.streaming import streaming_spanner
+
+        json.dumps(streaming_spanner(g, 4, rng=0).to_record())
