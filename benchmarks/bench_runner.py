@@ -26,7 +26,45 @@ import time
 
 from repro.runner import ExperimentPlan, run_plan
 
-__all__ = ["reference_plan", "run_runner_bench", "format_table"]
+__all__ = [
+    "reference_plan",
+    "run_runner_bench",
+    "format_table",
+    "speedup_gate",
+    "multi_core_available",
+]
+
+#: Minimum jobs>1 speedup the full-config bench must defend (only
+#: meaningful on multi-core hardware — see :func:`speedup_gate`).
+SPEEDUP_GATE = 1.2
+
+
+def multi_core_available() -> bool:
+    """Whether this machine can exhibit a parallel speedup at all."""
+    return (os.cpu_count() or 1) >= 2
+
+
+def speedup_gate(record: dict, *, minimum: float = SPEEDUP_GATE):
+    """Evaluate the parallel-speedup gate on a bench record.
+
+    Returns ``(ok, reason)`` where ``reason`` always states *why* —
+    including the explicit single-CPU skip, so a 0.6x number recorded on a
+    1-core container never reads as a regression.
+    """
+    cpus = record.get("cpu_count") or 1
+    speedup = record.get("speedup", 0.0)
+    jobs = record.get("config", {}).get("jobs", "?")
+    if cpus < 2:
+        return True, (
+            f"skipped: single-CPU machine (cpu_count={cpus}) cannot exhibit a "
+            f"jobs={jobs} speedup; recorded {speedup:.2f}x is not a regression"
+        )
+    if speedup >= minimum:
+        return True, f"speedup {speedup:.2f}x meets the {minimum:.1f}x gate"
+    return False, (
+        f"speedup {speedup:.2f}x below the {minimum:.1f}x gate "
+        f"(cpu_count={cpus}, jobs={jobs})"
+    )
 
 FULL_CONFIG = {
     "graphs": ["er:2048:0.01", "geo:2048:0.06", "cliques:64:16"],

@@ -53,7 +53,7 @@ def _run_distance(args) -> int:
 
 
 def _run_runner(args) -> int:
-    from bench_runner import format_table, run_runner_bench
+    from bench_runner import format_table, run_runner_bench, speedup_gate
 
     record = run_runner_bench(smoke=args.smoke)
     print(format_table(record))
@@ -62,15 +62,11 @@ def _run_runner(args) -> int:
     if record["resume"]["executed"] != 0:
         print("WARNING: sweep resume re-executed trials", file=sys.stderr)
         return 1
-    # Parallel speedup is only a meaningful gate when cores exist to win on.
-    if (
-        not args.smoke
-        and (record["cpu_count"] or 1) >= 2
-        and record["speedup"] < 1.2
-    ):
-        print("WARNING: parallel sweep speedup fell below the 1.2x gate",
-              file=sys.stderr)
-        return 1
+    if not args.smoke:
+        ok, reason = speedup_gate(record)
+        print(f"speedup gate: {reason}", file=sys.stderr if not ok else sys.stdout)
+        if not ok:
+            return 1
     return 0
 
 

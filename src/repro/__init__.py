@@ -25,6 +25,10 @@ Public API overview
 ``repro.runner``
     Declarative experiment plans executed on a process pool with
     content-hash resume (``repro sweep``).
+``repro.verify``
+    Certification subsystem: every registered algorithm's declared paper
+    bounds checked against measured runs, one certificate per cell of an
+    algorithms x graph-families conformance matrix (``repro verify``).
 """
 
 __version__ = "1.0.0"

@@ -18,6 +18,11 @@ Commands
 ``sweep``
     Execute an :class:`~repro.runner.plan.ExperimentPlan` (JSON file) on a
     process pool, with content-hash resume and JSON/CSV artifacts.
+``verify``
+    Certify algorithms against their declared paper bounds — one run
+    (``repro verify --algorithm ... --graph ...``) or a full conformance
+    matrix over algorithms x graph families x seeds (``repro verify
+    --matrix``).
 
 Algorithms come from :mod:`repro.registry`; graphs are generated on the fly
 from ``--graph`` specs like ``er:512:0.06`` or loaded from disk with
@@ -288,6 +293,97 @@ def _cmd_sweep(args) -> int:
     return 1 if errors else 0
 
 
+def _cmd_verify(args) -> int:
+    from .verify import certify, conformance_plan, format_matrix_markdown, run_matrix
+
+    if not args.matrix:
+        if not args.algorithm:
+            raise SystemExit("verify: --algorithm is required without --matrix")
+        from .graphs.specs import GraphSpecError
+
+        try:
+            cert = certify(
+                args.algorithm,
+                args.graph or "er:512:0.06",
+                k=args.k,
+                t=args.t,
+                seed=args.seed or 0,
+                weights=args.weights or "uniform",
+                slack=args.slack,
+            )
+        except (KeyError, ValueError, GraphSpecError) as exc:
+            raise SystemExit(f"verify: {exc}") from exc
+        if args.out:
+            from pathlib import Path
+
+            out = Path(args.out)
+            if out.is_dir():  # accept the --matrix directory form too
+                out = out / "certificate.json"
+            cert.save(out)
+        if args.json:
+            print(json.dumps(cert.to_json(), indent=2, sort_keys=True))
+        else:
+            print(
+                f"{cert.algorithm} on {cert.graph} "
+                f"(n={cert.n} m={cert.m} k={cert.k} t={cert.t} seed={cert.seed}): "
+                f"{cert.summary()}"
+            )
+            for c in cert.checks:
+                mark = "ok " if c.passed else "XXX"
+                bound = "" if c.bound is None else f"  <=  {c.bound:.3f}"
+                print(f"  [{mark}] {c.name:<18} {c.measured:.3f}{bound}  ({c.detail})")
+            if cert.source:
+                print(f"  claims: {cert.source}")
+        return 0 if cert.ok else 1
+
+    def split(text, conv=str):
+        return [conv(tok) for tok in text.split(",") if tok] if text else None
+
+    # The singular flags narrow the matrix too, so `--matrix --graph g`
+    # certifies g rather than silently reverting to the default families.
+    plan = conformance_plan(
+        algorithms=split(args.algorithms),
+        graphs=split(args.graphs) or ([args.graph] if args.graph else None),
+        ks=split(args.ks, int) or ([args.k] if args.k is not None else None),
+        ts=[args.t] if args.t is not None else None,
+        seeds=split(args.seeds, int)
+        or ([args.seed] if args.seed is not None else None),
+        weights=[args.weights] if args.weights else None,
+        slack=args.slack,
+    )
+    try:
+        plan.trials()
+    except (KeyError, ValueError) as exc:  # GraphSpecError is a ValueError
+        raise SystemExit(f"verify: bad matrix plan: {exc}") from exc
+
+    def progress(record, done, total):
+        status = record.get("error") or (
+            "certified" if record.get("cert_ok") else
+            f"VIOLATED: {record.get('cert_violations', '?')}"
+        )
+        print(f"[{done}/{total}] {record['algorithm']} {record['graph']} "
+              f"k={record.get('k')} seed={record['seed']}: {status}")
+
+    # Unlike `repro sweep`, certification defaults to a fresh run: a resumed
+    # cell re-reports a certificate computed against whatever bounds were
+    # registered when it was first written, which is stale evidence after a
+    # registry claim changes.  --resume opts back in for interrupted sweeps.
+    result = run_matrix(
+        plan,
+        jobs=args.jobs,
+        out_dir=args.out,
+        resume=args.resume,
+        progress=None if args.json else progress,
+    )
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        print(format_matrix_markdown(result))
+        if result.out_dir:
+            print(f"artifacts: {result.out_dir}/matrix.json, {result.out_dir}/matrix.md")
+    return 0 if result.ok else 1
+
+
 def make_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -345,6 +441,65 @@ def make_parser() -> argparse.ArgumentParser:
     sp.add_argument("--dry-run", action="store_true", help="list trials, run nothing")
     sp.add_argument("--json", action="store_true", help="summary as JSON")
     sp.set_defaults(fn=_cmd_sweep)
+
+    sp = sub.add_parser(
+        "verify", help="certify algorithms against their declared paper bounds"
+    )
+    # Not common(): defaults stay None so --matrix can tell whether the
+    # singular flags were actually given and narrow the sweep accordingly.
+    sp.add_argument(
+        "--graph",
+        default=None,
+        help="family:args spec (default er:512:0.06; narrows --matrix)",
+    )
+    sp.add_argument("--weights", default=None, help="weight model (default uniform)")
+    sp.add_argument("--seed", type=int, default=None, help="rng seed (default 0)")
+    sp.add_argument(
+        "--algorithm",
+        default=None,
+        metavar="ALGO",
+        help="registry name or alias to certify (single-run mode)",
+    )
+    sp.add_argument("-k", type=int, default=None, help="stretch parameter")
+    sp.add_argument("-t", type=int, default=None, help="growth parameter")
+    sp.add_argument(
+        "--slack",
+        type=float,
+        default=1.0,
+        help="constant-factor slack on the expected-size bound (default 1.0)",
+    )
+    sp.add_argument(
+        "--matrix",
+        action="store_true",
+        help="sweep a conformance matrix instead of certifying one run",
+    )
+    sp.add_argument(
+        "--algorithms",
+        default=None,
+        help="comma-separated registry names for --matrix (default: all)",
+    )
+    sp.add_argument(
+        "--graphs",
+        default=None,
+        help="comma-separated graph specs for --matrix (default: representative set)",
+    )
+    sp.add_argument("--ks", default=None, help="comma-separated k values for --matrix")
+    sp.add_argument("--seeds", default=None, help="comma-separated seeds for --matrix")
+    sp.add_argument("--jobs", type=int, default=1, help="worker processes for --matrix")
+    sp.add_argument(
+        "--out",
+        default=None,
+        help="certificate JSON path (single run) or artifact directory (--matrix)",
+    )
+    sp.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse finished cell artifacts under --out (for interrupted "
+        "sweeps; default recertifies, so verdicts always reflect the "
+        "currently registered claims)",
+    )
+    sp.add_argument("--json", action="store_true", help="machine-readable output")
+    sp.set_defaults(fn=_cmd_verify)
     return p
 
 

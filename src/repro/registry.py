@@ -16,6 +16,15 @@ Every resolved algorithm has the uniform signature ``run(g, k, t, rng)``
 (``t`` and ``rng`` may be ``None``); model-specific knobs (``gamma``,
 ``quantize_eps``, ...) keep their library entry points.
 
+Besides the loader, every spec carries its *theoretical claims* — the
+stretch bound, expected-size bound, and round/pass/depth budgets the paper
+proves for the construction — as an :class:`AlgorithmClaims` record of
+closed-form callables over a :class:`ClaimContext`.  The certification
+subsystem (:mod:`repro.verify`) evaluates these against measured runs, so
+"the paper's guarantee" lives in exactly one place per algorithm.  Claim
+callables late-import :mod:`repro.core.params`, keeping registry import as
+cheap as before.
+
 Examples
 --------
 >>> from repro.registry import get_algorithm
@@ -29,10 +38,13 @@ Examples
 from __future__ import annotations
 
 import importlib
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
 __all__ = [
+    "ClaimContext",
+    "AlgorithmClaims",
     "AlgorithmSpec",
     "register_spanner",
     "register_apsp",
@@ -45,6 +57,77 @@ __all__ = [
 
 #: Compute models an algorithm can target.
 MODELS = ("in-memory", "streaming", "mpc", "congested-clique", "pram")
+
+
+@dataclass(frozen=True)
+class ClaimContext:
+    """Everything a claimed bound may depend on, gathered from one run.
+
+    ``n``/``m`` describe the input graph, ``k``/``t`` are the parameters the
+    run actually used (``t`` may be ``None`` for algorithms that pick the
+    paper default), and the remaining fields are instrumentation the round
+    and depth budgets reference (``gamma`` for the sublinear-MPC ``O(1/γ)``
+    factor, measured logical ``iterations``/``epochs``/``contractions``).
+    """
+
+    n: int
+    m: int
+    k: int
+    t: int | None = None
+    gamma: float | None = None
+    iterations: int = 0
+    epochs: int = 0
+    contractions: int = 0
+
+    @property
+    def t_eff(self) -> int:
+        """The effective growth parameter: the paper default ``t = log2 k``
+        when ``t`` is ``None``, clamped into ``[1, k-1]`` (the algorithms
+        never run more growth iterations per epoch than ``k - 1``)."""
+        t = self.t
+        if t is None:
+            t = max(1, int(round(math.log2(max(self.k, 2)))))
+        return min(max(t, 1), max(self.k - 1, 1))
+
+
+@dataclass(frozen=True)
+class AlgorithmClaims:
+    """The paper guarantees one algorithm claims, as evaluable bounds.
+
+    Each field is a callable mapping a :class:`ClaimContext` to a numeric
+    bound (or ``None`` when the paper makes no such claim for the
+    construction):
+
+    ``stretch``
+        Worst-case stretch bound — deterministic, checked without slack.
+    ``size``
+        *Expected* spanner size in edges (w.h.p. for the Congested Clique
+        variant); the certifier multiplies it by a configurable slack.
+    ``rounds``
+        Simulated round budget (MPC / Congested Clique / near-linear) for
+        the recorded ``extra['rounds']``.
+    ``passes``
+        Streaming pass budget for the recorded ``StreamStats.passes``.
+    ``depth``
+        PRAM depth budget for the recorded ``extra['pram']['depth']``.
+    ``source``
+        The theorem(s) the numbers come from, for certificates and docs.
+    """
+
+    stretch: Callable[[ClaimContext], float] | None = None
+    size: Callable[[ClaimContext], float] | None = None
+    rounds: Callable[[ClaimContext], float] | None = None
+    passes: Callable[[ClaimContext], float] | None = None
+    depth: Callable[[ClaimContext], float] | None = None
+    source: str = ""
+
+    def names(self) -> list[str]:
+        """Which claim kinds this record actually declares."""
+        return [
+            name
+            for name in ("stretch", "size", "rounds", "passes", "depth")
+            if getattr(self, name) is not None
+        ]
 
 
 @dataclass
@@ -73,6 +156,9 @@ class AlgorithmSpec:
         unit weights are forced, e.g. Theorem 1.3's unweighted algorithm).
     description:
         One line for ``repro list``.
+    claims:
+        The paper's guarantees as evaluable bounds (see
+        :class:`AlgorithmClaims`); consumed by :mod:`repro.verify`.
     """
 
     name: str
@@ -82,6 +168,7 @@ class AlgorithmSpec:
     requires_t: bool = False
     weighted: bool = True
     description: str = ""
+    claims: AlgorithmClaims | None = None
     _resolved: Callable | None = field(default=None, repr=False, compare=False)
 
     def resolve(self) -> Callable:
@@ -131,6 +218,7 @@ def _register_kind(
     description: str,
     aliases: tuple[str, ...],
     loader: Callable[[], Callable] | None,
+    claims: AlgorithmClaims | None,
 ):
     """Shared decorator/direct plumbing behind :func:`register_spanner`
     and :func:`register_apsp`."""
@@ -145,6 +233,7 @@ def _register_kind(
                 requires_t=requires_t,
                 weighted=weighted,
                 description=description,
+                claims=claims,
             ),
             aliases,
         )
@@ -168,6 +257,7 @@ def register_spanner(
     description: str = "",
     aliases: tuple[str, ...] = (),
     loader: Callable[[], Callable] | None = None,
+    claims: AlgorithmClaims | None = None,
 ):
     """Register a spanner construction under ``name``.
 
@@ -187,6 +277,7 @@ def register_spanner(
         description=description,
         aliases=aliases,
         loader=loader,
+        claims=claims,
     )
 
 
@@ -199,6 +290,7 @@ def register_apsp(
     description: str = "",
     aliases: tuple[str, ...] = (),
     loader: Callable[[], Callable] | None = None,
+    claims: AlgorithmClaims | None = None,
 ):
     """Register an APSP pipeline (same forms as :func:`register_spanner`)."""
     return _register_kind(
@@ -210,6 +302,7 @@ def register_apsp(
         description=description,
         aliases=aliases,
         loader=loader,
+        claims=claims,
     )
 
 
@@ -254,6 +347,117 @@ def _lazy(module: str, build: Callable) -> Callable[[], Callable]:
 
 
 # --------------------------------------------------------------------------
+# Claim formulas.  Thin closures over repro.core.params (late-imported so
+# registry import stays cheap); the proof constants match the ones the
+# long-standing theorem tests assert.
+# --------------------------------------------------------------------------
+
+
+def _general_stretch(ctx: ClaimContext) -> float:
+    from .core.params import stretch_bound
+
+    return stretch_bound(ctx.k, ctx.t_eff)
+
+
+def _general_size(ctx: ClaimContext) -> float:
+    from .core.params import size_bound
+
+    return size_bound(ctx.n, ctx.k, ctx.t_eff)
+
+
+def _t1_stretch(ctx: ClaimContext) -> float:
+    """Theorem 4.10 proof constant: ``k^{log2 3}`` (the ``t = 1`` extreme)."""
+    return float(ctx.k) ** math.log2(3)
+
+
+def _t1_size(ctx: ClaimContext) -> float:
+    from .core.params import size_bound
+
+    return size_bound(ctx.n, ctx.k, 1)
+
+
+def _linear_stretch(ctx: ClaimContext) -> float:
+    """``O(k)`` with the proofs' constant 4 (Theorems 3.4 and 1.3)."""
+    return 4.0 * max(ctx.k, 1)
+
+
+def _two_phase_size(ctx: ClaimContext) -> float:
+    """Theorem 3.1: ``O(sqrt(k) n^{1+1/k})`` (constant 4, as the benches)."""
+    return 4.0 * math.sqrt(max(ctx.k, 1)) * float(ctx.n) ** (1.0 + 1.0 / max(ctx.k, 1))
+
+
+def _unweighted_size(ctx: ClaimContext) -> float:
+    """Theorem 1.3: ``O(k n^{1+1/k})`` spanner edges plus ``O(k n)`` stored
+    dense-vertex paths."""
+    k = max(ctx.k, 1)
+    return 4.0 * k * float(ctx.n) ** (1.0 + 1.0 / k) + 4.0 * k * ctx.n
+
+
+def _bs_stretch(ctx: ClaimContext) -> float:
+    from .core.params import bs_stretch_bound
+
+    return bs_stretch_bound(ctx.k)
+
+
+def _bs_size(ctx: ClaimContext) -> float:
+    from .core.params import bs_size_bound
+
+    return bs_size_bound(ctx.n, ctx.k)
+
+
+def _stream_passes(ctx: ClaimContext) -> float:
+    """Section 2.4: one pass per epoch plus the final clean-up pass."""
+    return math.ceil(math.log2(max(ctx.k, 2))) + 1
+
+
+def _mpc_rounds(ctx: ClaimContext) -> float:
+    """Theorem 1.1 under ``O(1/γ)``-rounds-per-iteration accounting (the
+    constant 16 matches the Section 6 simulator tests)."""
+    from .core.params import mpc_rounds_bound
+
+    return mpc_rounds_bound(ctx.k, ctx.t_eff, ctx.gamma or 0.5, constant=16.0)
+
+
+def _nearlinear_rounds(ctx: ClaimContext) -> float:
+    """Θ(n)-memory regime: 3 message exchanges per executed iteration plus
+    one label exchange per contraction (one extra constant of headroom)."""
+    return 3.0 * ctx.iterations + ctx.contractions + 4.0
+
+
+def _cc_rounds(ctx: ClaimContext) -> float:
+    """Theorem 8.1: O(1) rounds per iteration (coin broadcast + counter
+    aggregation + Lenzen-routed merges) plus one broadcast per epoch."""
+    from .core.params import num_epochs, total_iterations
+
+    return 8.0 * (total_iterations(ctx.k, ctx.t_eff) + num_epochs(ctx.k, ctx.t_eff)) + 8.0
+
+
+def _pram_depth(ctx: ClaimContext) -> float:
+    """Section 6 PRAM claim: depth ``O(iterations · log* n)`` (each
+    iteration costs a constant number of log*-depth primitives)."""
+    from .pram.tracker import log_star
+
+    return 8.0 * max(log_star(ctx.n), 1) * (ctx.iterations + 2)
+
+
+def _collection_rounds(ctx: ClaimContext) -> float:
+    """Round budget for shipping a bound-respecting spanner: Lenzen routing
+    moves its ``O(size_bound)`` words at ``Θ(n)`` words per round."""
+    from .core.params import size_bound
+
+    words = 3.0 * size_bound(ctx.n, ctx.k, ctx.t_eff)
+    return 2.0 * math.ceil(words / max(ctx.n - 1, 1)) + 2.0
+
+
+def _apsp_mpc_rounds(ctx: ClaimContext) -> float:
+    return _mpc_rounds(ctx) + _collection_rounds(ctx)
+
+
+def _apsp_cc_rounds(ctx: ClaimContext) -> float:
+    return _cc_rounds(ctx) + _collection_rounds(ctx)
+
+
+# --------------------------------------------------------------------------
 # Built-in registrations.  All lazy: nothing below imports numpy-heavy
 # algorithm modules until the algorithm is actually resolved.
 # --------------------------------------------------------------------------
@@ -264,6 +468,11 @@ register_spanner(
     description="Classic (2k-1)-spanner baseline (t = k-1 extreme).",
     aliases=("bs",),
     loader=_lazy(".core", lambda m: lambda g, k, t, rng: m.baswana_sen(g, k, rng=rng)),
+    claims=AlgorithmClaims(
+        stretch=_bs_stretch,
+        size=_bs_size,
+        source="Baswana–Sen 2007 (the paper's t = k-1 baseline)",
+    ),
 )
 
 register_spanner(
@@ -272,6 +481,11 @@ register_spanner(
     description="Section 4: O(log k) iterations, stretch O(k^{log 3}).",
     loader=_lazy(
         ".core", lambda m: lambda g, k, t, rng: m.cluster_merging(g, k, rng=rng)
+    ),
+    claims=AlgorithmClaims(
+        stretch=_t1_stretch,
+        size=_t1_size,
+        source="Theorems 4.10 (stretch) and 4.13 (size)",
     ),
 )
 
@@ -282,6 +496,11 @@ register_spanner(
     aliases=("two-phase-contraction",),
     loader=_lazy(
         ".core", lambda m: lambda g, k, t, rng: m.two_phase_contraction(g, k, rng=rng)
+    ),
+    claims=AlgorithmClaims(
+        stretch=_linear_stretch,
+        size=_two_phase_size,
+        source="Theorems 3.1 (size) and 3.4 (stretch)",
     ),
 )
 
@@ -294,6 +513,11 @@ register_spanner(
     loader=_lazy(
         ".core", lambda m: lambda g, k, t, rng: m.general_tradeoff(g, k, t, rng=rng)
     ),
+    claims=AlgorithmClaims(
+        stretch=_general_stretch,
+        size=_general_size,
+        source="Theorem 5.11 (stretch) and Lemma 5.14 (size) — Theorem 1.1",
+    ),
 )
 
 register_spanner(
@@ -305,6 +529,11 @@ register_spanner(
     loader=_lazy(
         ".core", lambda m: lambda g, k, t, rng: m.unweighted_spanner(g, k, rng=rng)
     ),
+    claims=AlgorithmClaims(
+        stretch=_linear_stretch,
+        size=_unweighted_size,
+        source="Theorem 1.3 / Appendix B ([PY18] adaptation)",
+    ),
 )
 
 register_spanner(
@@ -314,6 +543,12 @@ register_spanner(
     aliases=("streaming-spanner",),
     loader=_lazy(
         ".streaming", lambda m: lambda g, k, t, rng: m.streaming_spanner(g, k, rng=rng)
+    ),
+    claims=AlgorithmClaims(
+        stretch=_t1_stretch,
+        size=_t1_size,
+        passes=_stream_passes,
+        source="Section 2.4 (t = 1 general algorithm; Theorem 5.11 applies verbatim)",
     ),
 )
 
@@ -325,6 +560,12 @@ register_spanner(
     aliases=("spanner-mpc", "mpc-sublinear"),
     loader=_lazy(
         ".mpc_impl", lambda m: lambda g, k, t, rng: m.spanner_mpc(g, k, t, rng=rng)
+    ),
+    claims=AlgorithmClaims(
+        stretch=_general_stretch,
+        size=_general_size,
+        rounds=_mpc_rounds,
+        source="Theorem 1.1 / Section 6 ([GSZ11] primitive accounting)",
     ),
 )
 
@@ -338,6 +579,12 @@ register_spanner(
         ".mpc_impl",
         lambda m: lambda g, k, t, rng: m.spanner_mpc_nearlinear(g, k, t, rng=rng),
     ),
+    claims=AlgorithmClaims(
+        stretch=_general_stretch,
+        size=_general_size,
+        rounds=_nearlinear_rounds,
+        source="Section 6, Θ(n)-memory paragraph",
+    ),
 )
 
 register_spanner(
@@ -348,6 +595,12 @@ register_spanner(
     aliases=("spanner-cc", "congested-clique"),
     loader=_lazy(
         ".cc_impl", lambda m: lambda g, k, t, rng: m.spanner_cc(g, k, t, rng=rng)
+    ),
+    claims=AlgorithmClaims(
+        stretch=_general_stretch,
+        size=_general_size,
+        rounds=_cc_rounds,
+        source="Theorem 8.1 (w.h.p. size via parallel repetitions)",
     ),
 )
 
@@ -360,6 +613,12 @@ register_spanner(
     loader=_lazy(
         ".pram", lambda m: lambda g, k, t, rng: m.spanner_pram(g, k, t, rng=rng)
     ),
+    claims=AlgorithmClaims(
+        stretch=_general_stretch,
+        size=_general_size,
+        depth=_pram_depth,
+        source="Section 6 PRAM claim ([BS07] CRCW primitives)",
+    ),
 )
 
 register_apsp(
@@ -370,6 +629,12 @@ register_apsp(
     loader=_lazy(
         ".mpc_impl", lambda m: lambda g, k, t, rng: m.apsp_mpc(g, k=k, t=t, rng=rng)
     ),
+    claims=AlgorithmClaims(
+        stretch=_general_stretch,
+        size=_general_size,
+        rounds=_apsp_mpc_rounds,
+        source="Corollary 1.4 / Section 7",
+    ),
 )
 
 register_apsp(
@@ -379,5 +644,11 @@ register_apsp(
     aliases=("cc-apsp",),
     loader=_lazy(
         ".cc_impl", lambda m: lambda g, k, t, rng: m.apsp_cc(g, k=k, t=t, rng=rng)
+    ),
+    claims=AlgorithmClaims(
+        stretch=_general_stretch,
+        size=_general_size,
+        rounds=_apsp_cc_rounds,
+        source="Corollary 1.5 / Section 8",
     ),
 )

@@ -77,6 +77,24 @@ def run_trial(trial: TrialSpec) -> dict:
         result = algo.run(g, k=trial.k, t=trial.t, rng=trial.seed)
         record["elapsed_s"] = round(time.perf_counter() - start, 6)
 
+        if trial.certify:
+            from ..verify import certify_result
+
+            cert = certify_result(
+                algo,
+                g,
+                result,
+                graph=trial.graph,
+                seed=trial.seed,
+                weights=weights,
+                slack=trial.cert_slack,
+                elapsed_s=record["elapsed_s"],
+            )
+            record["cert_ok"] = cert.ok
+            record["cert_checks"] = len(cert.checks)
+            record["cert_violations"] = ",".join(c.name for c in cert.violations)
+            record["certificate"] = cert.to_json()
+
         if algo.kind == "spanner":
             record.update(result.to_record())
             # to_record() reports the implementation's own label (e.g.
@@ -133,16 +151,24 @@ def _load_completed(out_dir: Path | None, trials: list[TrialSpec]) -> dict:
             try:
                 record = json.loads(path.read_text())
             except (OSError, json.JSONDecodeError):
-                continue  # corrupt artifact: re-run the trial
+                continue  # corrupt/truncated artifact: re-run the trial
+            if not isinstance(record, dict) or record.get("trial_id") != trial.trial_id:
+                continue  # parseable but foreign content: re-run the trial
             if "error" not in record:
                 completed[trial.trial_id] = record
     return completed
 
 
+def _scalar_view(record: dict) -> dict:
+    """The tabular projection of a record: nested payloads (e.g. embedded
+    certificates) stay in the JSON artifacts, out of the CSV."""
+    return {k: v for k, v in record.items() if not isinstance(v, (dict, list))}
+
+
 def _columns(records: list[dict]) -> list[str]:
     keys = set()
     for record in records:
-        keys.update(record)
+        keys.update(_scalar_view(record))
     rest = sorted(keys.difference(_LEAD_COLUMNS))
     return [c for c in _LEAD_COLUMNS if c in keys] + rest
 
@@ -161,7 +187,7 @@ def _write_aggregates(out_dir: Path, plan: ExperimentPlan, records: list[dict]) 
         writer = csv.DictWriter(fh, fieldnames=cols, extrasaction="ignore")
         writer.writeheader()
         for record in records:
-            writer.writerow(record)
+            writer.writerow(_scalar_view(record))
 
 
 def run_plan(

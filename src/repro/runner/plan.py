@@ -34,7 +34,13 @@ __all__ = ["TrialSpec", "ExperimentPlan"]
 
 @dataclass(frozen=True)
 class TrialSpec:
-    """One fully-specified trial: algorithm x graph x parameters x seed."""
+    """One fully-specified trial: algorithm x graph x parameters x seed.
+
+    With ``certify`` set, the trial additionally runs the
+    :mod:`repro.verify` certifier on its result and embeds the full
+    :class:`~repro.verify.Certificate` in the trial record (``cert_slack``
+    is the size-bound slack factor passed through).
+    """
 
     algorithm: str
     graph: str
@@ -43,6 +49,8 @@ class TrialSpec:
     seed: int
     weights: str = "uniform"
     verify_pairs: int = 0
+    certify: bool = False
+    cert_slack: float = 1.0
 
     @property
     def trial_id(self) -> str:
@@ -63,6 +71,8 @@ class TrialSpec:
             seed=int(data.get("seed", 0)),
             weights=data.get("weights", "uniform"),
             verify_pairs=int(data.get("verify_pairs", 0)),
+            certify=bool(data.get("certify", False)),
+            cert_slack=float(data.get("cert_slack", 1.0)),
         )
 
 
@@ -84,6 +94,11 @@ class ExperimentPlan:
     verify_pairs:
         When positive, each spanner trial additionally measures sampled
         stretch over this many random pairs.
+    certify, cert_slack:
+        When ``certify`` is true, every trial runs the :mod:`repro.verify`
+        certifier on its result (exact stretch, size, round/pass budgets)
+        and the certificate rides in the trial record; ``cert_slack`` is
+        the size-bound slack factor.
     name:
         Label recorded in artifacts.
     """
@@ -95,6 +110,8 @@ class ExperimentPlan:
     seeds: list = field(default_factory=lambda: [0])
     weights: list = field(default_factory=lambda: ["uniform"])
     verify_pairs: int = 0
+    certify: bool = False
+    cert_slack: float = 1.0
     name: str = "sweep"
 
     def validate(self) -> None:
@@ -138,6 +155,8 @@ class ExperimentPlan:
                                     seed=seed,
                                     weights=wmodel,
                                     verify_pairs=self.verify_pairs,
+                                    certify=self.certify,
+                                    cert_slack=self.cert_slack,
                                 )
                                 if trial.trial_id not in seen:
                                     seen.add(trial.trial_id)
@@ -154,6 +173,8 @@ class ExperimentPlan:
             "seeds": list(self.seeds),
             "weights": list(self.weights),
             "verify_pairs": self.verify_pairs,
+            "certify": self.certify,
+            "cert_slack": self.cert_slack,
         }
 
     @classmethod
@@ -166,6 +187,8 @@ class ExperimentPlan:
             seeds=list(data.get("seeds", [0])),
             weights=list(data.get("weights", ["uniform"])),
             verify_pairs=int(data.get("verify_pairs", 0)),
+            certify=bool(data.get("certify", False)),
+            cert_slack=float(data.get("cert_slack", 1.0)),
             name=data.get("name", "sweep"),
         )
 

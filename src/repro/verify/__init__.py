@@ -1,0 +1,38 @@
+"""Certification subsystem: prove registered algorithms meet their bounds.
+
+Every :class:`~repro.registry.AlgorithmSpec` carries declarative
+:class:`~repro.registry.AlgorithmClaims` (stretch bound, expected-size
+bound, round/pass/depth budgets).  This package turns those claims into
+evidence:
+
+:func:`certify` / :func:`certify_result`
+    Run (or take) one algorithm result and check every declared bound,
+    producing a JSON-serializable :class:`Certificate`.
+:func:`run_matrix` / :func:`conformance_plan`
+    Sweep algorithms x graph families x seeds through the experiment
+    runner with per-cell certificates, a ``matrix.json`` summary, and a
+    markdown grid — the ``repro verify --matrix`` backend.
+"""
+
+from .certify import BoundCheck, Certificate, certify, certify_result
+from .matrix import (
+    DEFAULT_MATRIX_GRAPHS,
+    MatrixCell,
+    MatrixResult,
+    conformance_plan,
+    format_matrix_markdown,
+    run_matrix,
+)
+
+__all__ = [
+    "BoundCheck",
+    "Certificate",
+    "certify",
+    "certify_result",
+    "DEFAULT_MATRIX_GRAPHS",
+    "MatrixCell",
+    "MatrixResult",
+    "conformance_plan",
+    "format_matrix_markdown",
+    "run_matrix",
+]

@@ -1,0 +1,331 @@
+"""Certify one run against the algorithm's declared paper bounds.
+
+:func:`certify` runs a registered algorithm on a graph spec and checks the
+outcome against the :class:`~repro.registry.AlgorithmClaims` the registry
+declares for it:
+
+* **spanning-subgraph** — the output's edges all appear in the input with
+  the same weights (the precondition of every stretch proof);
+* **connectivity** — the spanner preserves connected components;
+* **stretch** — *exact* worst-case stretch via the edge-sufficiency lemma
+  (:func:`repro.graphs.validation.edge_stretch`, one batched Dijkstra),
+  against the claimed bound with no slack (stretch bounds are
+  deterministic);
+* **size** — edge count against the claimed expected size times a
+  configurable ``slack`` factor (size bounds hold in expectation / w.h.p.);
+* **rounds / passes / depth** — recorded :class:`MPCRunStats` /
+  :class:`StreamStats` / :class:`RoundStats` / PRAM accounting against the
+  claimed budgets.
+
+The result is a typed :class:`Certificate` that serializes to JSON, so a
+sweep can persist one certificate per (algorithm, graph, seed) cell and a
+later reader can audit exactly which bound was checked against which
+measured value.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..graphs.specs import GraphSpec
+from ..graphs.validation import edge_stretch, is_spanning_subgraph
+from ..registry import AlgorithmSpec, ClaimContext, get_algorithm
+
+__all__ = ["BoundCheck", "Certificate", "certify", "certify_result"]
+
+#: Absolute tolerance when comparing a float measurement to its bound.
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """One named check: a measured quantity against its claimed bound.
+
+    ``bound`` is ``None`` for structural checks (spanning-subgraph,
+    connectivity) where ``measured`` is 1.0 for pass / 0.0 for fail.
+    """
+
+    name: str
+    passed: bool
+    measured: float
+    bound: float | None = None
+    detail: str = ""
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "BoundCheck":
+        return cls(
+            name=data["name"],
+            passed=bool(data["passed"]),
+            measured=float(data["measured"]),
+            bound=None if data.get("bound") is None else float(data["bound"]),
+            detail=data.get("detail", ""),
+        )
+
+
+@dataclass
+class Certificate:
+    """The certification record for one (algorithm, graph, seed) run."""
+
+    algorithm: str
+    kind: str
+    model: str
+    graph: str
+    n: int
+    m: int
+    k: int
+    t: int | None
+    seed: int
+    weights: str
+    slack: float
+    checks: list = field(default_factory=list)
+    source: str = ""
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True iff every check passed."""
+        return all(c.passed for c in self.checks)
+
+    @property
+    def violations(self) -> list:
+        """The failed checks, if any."""
+        return [c for c in self.checks if not c.passed]
+
+    def check(self, name: str) -> BoundCheck | None:
+        """The named check, or ``None`` if it was not performed."""
+        for c in self.checks:
+            if c.name == name:
+                return c
+        return None
+
+    def summary(self) -> str:
+        """One human-readable line (the matrix cell text)."""
+        if self.ok:
+            return f"certified ({len(self.checks)} checks)"
+        names = ",".join(c.name for c in self.violations)
+        return f"VIOLATED: {names}"
+
+    def to_json(self) -> dict:
+        data = asdict(self)
+        data["ok"] = self.ok
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Certificate":
+        return cls(
+            algorithm=data["algorithm"],
+            kind=data["kind"],
+            model=data["model"],
+            graph=data["graph"],
+            n=int(data["n"]),
+            m=int(data["m"]),
+            k=int(data["k"]),
+            t=None if data.get("t") is None else int(data["t"]),
+            seed=int(data.get("seed", 0)),
+            weights=data.get("weights", "uniform"),
+            slack=float(data.get("slack", 1.0)),
+            checks=[BoundCheck.from_json(c) for c in data.get("checks", [])],
+            source=data.get("source", ""),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+        )
+
+    def save(self, path) -> None:
+        Path(path).write_text(json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "Certificate":
+        return cls.from_json(json.loads(Path(path).read_text()))
+
+
+def _same_components(g, h) -> bool:
+    from ..graphs import same_components
+
+    return same_components(g, h)
+
+
+def _claim_context(spec: AlgorithmSpec, g, result) -> ClaimContext:
+    """Gather everything the claimed bounds may reference from one run."""
+    if spec.kind == "spanner":
+        gamma = None
+        mpc = result.mpc_stats
+        if mpc is not None and mpc.gamma:
+            gamma = mpc.gamma
+        return ClaimContext(
+            n=g.n,
+            m=g.m,
+            k=result.k,
+            t=result.t,
+            gamma=gamma,
+            iterations=result.iterations,
+            epochs=result.epochs_executed(),
+            contractions=len(result.extra.get("epoch_contractions", [])),
+        )
+    # APSP pipeline: construction instrumentation lives on the stage-1 extra.
+    stage1 = getattr(result, "construction_extra", None) or getattr(
+        result, "spanner_extra", {}
+    )
+    gamma = (stage1.get("mpc") or {}).get("gamma")
+    return ClaimContext(n=g.n, m=g.m, k=result.k, t=result.t, gamma=gamma)
+
+
+def _measured_budgets(spec: AlgorithmSpec, result) -> dict:
+    """Map budget-claim name -> measured value, for whatever the run
+    actually recorded."""
+    measured: dict = {}
+    if spec.kind == "apsp":
+        measured["rounds"] = float(result.rounds)
+        return measured
+    rounds = result.extra.get("rounds")
+    if rounds is not None:
+        measured["rounds"] = float(rounds)
+    stream = result.stream_stats
+    if stream is not None:
+        measured["passes"] = float(stream.passes)
+    pram = result.extra.get("pram")
+    if pram is not None:
+        measured["depth"] = float(pram.get("depth", 0))
+    return measured
+
+
+def certify_result(
+    spec: AlgorithmSpec,
+    g,
+    result,
+    *,
+    graph: str = "?",
+    seed: int = 0,
+    weights: str = "uniform",
+    slack: float = 1.0,
+    elapsed_s: float = 0.0,
+) -> Certificate:
+    """Check an already-computed ``result`` of ``spec`` on ``g``.
+
+    ``slack`` multiplies the size bound only — stretch bounds and round
+    budgets are deterministic consequences of the proofs and get no slack.
+    """
+    h = result.spanner if spec.kind == "apsp" else result.subgraph(g)
+    claims = spec.claims
+    ctx = _claim_context(spec, g, result)
+    checks: list[BoundCheck] = []
+
+    subgraph_ok = is_spanning_subgraph(g, h)
+    checks.append(
+        BoundCheck(
+            name="spanning-subgraph",
+            passed=subgraph_ok,
+            measured=float(subgraph_ok),
+            detail="output edges (with weights) all appear in the input",
+        )
+    )
+    components_ok = bool(subgraph_ok and _same_components(g, h))
+    checks.append(
+        BoundCheck(
+            name="connectivity",
+            passed=components_ok,
+            measured=float(components_ok),
+            detail="spanner preserves connected components",
+        )
+    )
+
+    if claims is not None and claims.stretch is not None:
+        rep = edge_stretch(g, h)
+        bound = float(claims.stretch(ctx))
+        checks.append(
+            BoundCheck(
+                name="stretch",
+                passed=bool(np.isfinite(rep.max_stretch))
+                and rep.max_stretch <= bound + _EPS,
+                measured=float(rep.max_stretch),
+                bound=bound,
+                detail=f"exact edge-stretch over {rep.num_checked} edges",
+            )
+        )
+
+    if claims is not None and claims.size is not None:
+        bound = float(slack * claims.size(ctx))
+        checks.append(
+            BoundCheck(
+                name="size",
+                passed=h.m <= bound + _EPS,
+                measured=float(h.m),
+                bound=bound,
+                detail=f"edge count vs expected-size bound x {slack:g} slack",
+            )
+        )
+
+    measured_budgets = _measured_budgets(spec, result)
+    for name in ("rounds", "passes", "depth"):
+        claim_fn = getattr(claims, name, None) if claims is not None else None
+        if claim_fn is None or name not in measured_budgets:
+            continue
+        bound = float(claim_fn(ctx))
+        value = measured_budgets[name]
+        checks.append(
+            BoundCheck(
+                name=name,
+                passed=value <= bound + _EPS,
+                measured=value,
+                bound=bound,
+                detail=f"recorded {name} vs the paper budget",
+            )
+        )
+
+    return Certificate(
+        algorithm=spec.name,
+        kind=spec.kind,
+        model=spec.model,
+        graph=graph,
+        n=g.n,
+        m=g.m,
+        k=int(result.k),
+        t=result.t,
+        seed=seed,
+        weights=weights,
+        slack=slack,
+        checks=checks,
+        source=claims.source if claims is not None else "",
+        elapsed_s=elapsed_s,
+    )
+
+
+def certify(
+    algorithm: str,
+    graph: str,
+    *,
+    k: int | None = None,
+    t: int | None = None,
+    seed: int = 0,
+    weights: str = "uniform",
+    slack: float = 1.0,
+) -> Certificate:
+    """Run ``algorithm`` on ``graph`` (a spec string) and certify the run.
+
+    ``k`` is required for spanner algorithms; APSP pipelines default to the
+    Section 7 parameters.  Unweighted-only algorithms force unit weights,
+    exactly as the runner does.
+    """
+    spec = get_algorithm(algorithm)
+    effective_weights = weights if spec.weighted else "unit"
+    parsed = GraphSpec.parse(graph)
+    g = parsed.build(weights=effective_weights, seed=seed)
+    start = time.perf_counter()
+    result = spec.run(g, k=k, t=t, rng=seed)
+    elapsed = time.perf_counter() - start
+    return certify_result(
+        spec,
+        g,
+        result,
+        graph=parsed.format(),
+        seed=seed,
+        weights=effective_weights,
+        slack=slack,
+        elapsed_s=elapsed,
+    )

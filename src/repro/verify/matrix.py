@@ -1,0 +1,247 @@
+"""Conformance matrix: certify algorithms x graph families x seeds.
+
+Builds on the experiment runner: :func:`conformance_plan` produces an
+:class:`~repro.runner.plan.ExperimentPlan` with ``certify=True`` (so every
+trial carries a full :class:`~repro.verify.certify.Certificate` in its
+artifact), and :func:`run_matrix` executes it — in parallel, with
+content-hash resume — then aggregates the per-cell verdicts into
+``matrix.json`` and a human-readable ``matrix.md`` grid.
+
+The default plan sweeps *every* registered algorithm (all spanner
+constructions and both APSP pipelines) over a representative set of graph
+families: random (``er``), high-girth (``grid``), contraction-friendly
+(``cliques``), skewed-degree (``ba``), and geometric (``geo``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..registry import algorithm_names
+from ..runner import ExperimentPlan, run_plan
+
+__all__ = [
+    "DEFAULT_MATRIX_GRAPHS",
+    "MatrixCell",
+    "MatrixResult",
+    "conformance_plan",
+    "run_matrix",
+    "format_matrix_markdown",
+]
+
+#: Representative graph families for the default conformance sweep — one
+#: per structural regime the paper's constructions react differently to.
+DEFAULT_MATRIX_GRAPHS = [
+    "er:96:0.08",
+    "grid:8:10",
+    "cliques:8:6",
+    "ba:96:2",
+    "geo:72:0.22",
+]
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One (algorithm, graph, k, t, seed) verdict."""
+
+    trial_id: str
+    algorithm: str
+    graph: str
+    k: int | None
+    t: int | None
+    seed: int
+    ok: bool
+    violations: str = ""
+    error: str = ""
+
+    @property
+    def status(self) -> str:
+        if self.error:
+            return f"ERROR: {self.error}"
+        if self.ok:
+            return "ok"
+        return f"violated: {self.violations}"
+
+
+@dataclass
+class MatrixResult:
+    """Aggregated outcome of one conformance-matrix run."""
+
+    plan: ExperimentPlan
+    cells: list = field(default_factory=list)
+    executed: int = 0
+    skipped: int = 0
+    wall_seconds: float = 0.0
+    out_dir: str | None = None
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def num_certified(self) -> int:
+        return sum(1 for c in self.cells if c.ok and not c.error)
+
+    @property
+    def num_violations(self) -> int:
+        return sum(1 for c in self.cells if not c.ok and not c.error)
+
+    @property
+    def num_errors(self) -> int:
+        return sum(1 for c in self.cells if c.error)
+
+    @property
+    def ok(self) -> bool:
+        return self.num_certified == self.num_cells
+
+    def failures(self) -> list:
+        return [c for c in self.cells if c.error or not c.ok]
+
+    def to_json(self) -> dict:
+        return {
+            "plan": self.plan.to_json(),
+            "num_cells": self.num_cells,
+            "num_certified": self.num_certified,
+            "num_violations": self.num_violations,
+            "num_errors": self.num_errors,
+            "ok": self.ok,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "cells": [
+                {
+                    "trial_id": c.trial_id,
+                    "algorithm": c.algorithm,
+                    "graph": c.graph,
+                    "k": c.k,
+                    "t": c.t,
+                    "seed": c.seed,
+                    "ok": c.ok,
+                    "violations": c.violations,
+                    "error": c.error,
+                }
+                for c in self.cells
+            ],
+        }
+
+
+def conformance_plan(
+    *,
+    algorithms: list | None = None,
+    graphs: list | None = None,
+    ks: list | None = None,
+    ts: list | None = None,
+    seeds: list | None = None,
+    weights: list | None = None,
+    slack: float = 1.0,
+    name: str = "conformance",
+) -> ExperimentPlan:
+    """The certification sweep: by default every registered algorithm on
+    the representative family set, ``k = 4``, one seed.
+
+    APSP pipelines run with the same ``k`` axis (their bounds are checked
+    for whatever parameters they actually used), and unweighted-only
+    algorithms force unit weights — both handled by the plan expansion.
+    """
+    return ExperimentPlan(
+        algorithms=list(algorithms) if algorithms is not None else algorithm_names(),
+        graphs=list(graphs) if graphs is not None else list(DEFAULT_MATRIX_GRAPHS),
+        ks=list(ks) if ks is not None else [4],
+        ts=list(ts) if ts is not None else [None],
+        seeds=list(seeds) if seeds is not None else [0],
+        weights=list(weights) if weights is not None else ["uniform"],
+        certify=True,
+        cert_slack=slack,
+        name=name,
+    )
+
+
+def _cell(record: dict) -> MatrixCell:
+    return MatrixCell(
+        trial_id=record.get("trial_id", "?"),
+        algorithm=record.get("algorithm", "?"),
+        graph=record.get("graph", "?"),
+        k=record.get("k"),
+        t=record.get("t"),
+        seed=int(record.get("seed", 0)),
+        ok=bool(record.get("cert_ok", False)),
+        violations=record.get("cert_violations", ""),
+        error=record.get("error", ""),
+    )
+
+
+def format_matrix_markdown(result: MatrixResult) -> str:
+    """The algorithms x graphs grid as a GitHub-flavoured markdown table.
+
+    Multi-seed / multi-k sweeps collapse each (algorithm, graph) group to
+    its worst verdict; the per-cell detail stays in ``matrix.json``.
+    """
+    algorithms = sorted({c.algorithm for c in result.cells})
+    graphs = sorted({c.graph for c in result.cells})
+    by_key: dict = {}
+    for c in result.cells:
+        by_key.setdefault((c.algorithm, c.graph), []).append(c)
+
+    def cell_text(algorithm: str, graph: str) -> str:
+        group = by_key.get((algorithm, graph))
+        if not group:
+            return "—"
+        errors = [c for c in group if c.error]
+        if errors:
+            return "ERR"
+        bad = sorted({v for c in group if not c.ok for v in c.violations.split(",") if v})
+        if bad:
+            return "✗ " + ",".join(bad)
+        return "✓"
+
+    lines = [
+        "| algorithm | " + " | ".join(graphs) + " |",
+        "|---" * (len(graphs) + 1) + "|",
+    ]
+    for algorithm in algorithms:
+        row = [cell_text(algorithm, graph) for graph in graphs]
+        lines.append(f"| {algorithm} | " + " | ".join(row) + " |")
+    lines.append("")
+    lines.append(
+        f"{result.num_certified}/{result.num_cells} cells certified, "
+        f"{result.num_violations} violations, {result.num_errors} errors."
+    )
+    return "\n".join(lines)
+
+
+def run_matrix(
+    plan: ExperimentPlan | None = None,
+    *,
+    jobs: int = 1,
+    out_dir=None,
+    resume: bool = True,
+    progress=None,
+) -> MatrixResult:
+    """Execute a conformance plan and aggregate the verdicts.
+
+    When ``out_dir`` is given, the runner's per-trial artifacts (each
+    embedding its full certificate) land under ``out_dir/trials/`` and the
+    matrix summary is written to ``out_dir/matrix.json`` and
+    ``out_dir/matrix.md``.
+    """
+    if plan is None:
+        plan = conformance_plan()
+    if not plan.certify:
+        raise ValueError("a conformance plan must have certify=True")
+
+    run = run_plan(plan, jobs=jobs, out_dir=out_dir, resume=resume, progress=progress)
+    result = MatrixResult(
+        plan=plan,
+        cells=[_cell(r) for r in run.records],
+        executed=run.executed,
+        skipped=run.skipped,
+        wall_seconds=run.wall_seconds,
+        out_dir=run.out_dir,
+    )
+    if run.out_dir is not None:
+        out = Path(run.out_dir)
+        (out / "matrix.json").write_text(
+            json.dumps(result.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+        (out / "matrix.md").write_text(format_matrix_markdown(result) + "\n")
+    return result

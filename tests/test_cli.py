@@ -190,3 +190,119 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestVerify:
+    def test_verify_single_run(self, capsys):
+        rc = main(
+            ["verify", "--algorithm", "baswana-sen", "--graph", "er:48:0.2", "-k", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "certified" in out
+        assert "stretch" in out and "size" in out
+
+    def test_verify_json_and_out(self, capsys, tmp_path):
+        path = tmp_path / "cert.json"
+        rc = main(
+            [
+                "verify", "--algorithm", "streaming", "--graph", "er:48:0.2",
+                "-k", "4", "--json", "--out", str(path),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert any(c["name"] == "passes" for c in payload["checks"])
+        assert json.loads(path.read_text()) == payload
+
+    def test_verify_requires_algorithm_without_matrix(self):
+        with pytest.raises(SystemExit, match="--algorithm"):
+            main(["verify", "--graph", "er:16:0.3"])
+
+    def test_verify_unknown_algorithm(self):
+        with pytest.raises(SystemExit, match="unknown algorithm"):
+            main(["verify", "--algorithm", "nope", "--graph", "er:16:0.3", "-k", "2"])
+
+    def test_verify_matrix(self, capsys, tmp_path):
+        out = tmp_path / "conf"
+        rc = main(
+            [
+                "verify", "--matrix",
+                "--algorithms", "baswana-sen,streaming",
+                "--graphs", "er:40:0.2,grid:5:5",
+                "--ks", "3", "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "4/4 cells certified" in text
+        assert (out / "matrix.json").exists()
+        assert (out / "matrix.md").exists()
+
+    def test_verify_matrix_json(self, capsys):
+        rc = main(
+            [
+                "verify", "--matrix", "--json",
+                "--algorithms", "baswana-sen",
+                "--graphs", "er:32:0.2",
+                "--ks", "2,3", "--seeds", "0,1",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["num_cells"] == 4
+
+    def test_verify_spanner_without_k_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="requires k"):
+            main(["verify", "--algorithm", "baswana-sen", "--graph", "er:16:0.3"])
+
+    def test_verify_matrix_respects_singular_flags(self, capsys):
+        rc = main(
+            [
+                "verify", "--matrix", "--json",
+                "--algorithms", "baswana-sen",
+                "--graph", "grid:4:4", "--seed", "3", "-k", "2",
+                "--weights", "unit",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_cells"] == 1
+        (cell,) = payload["cells"]
+        assert cell["graph"] == "grid:4:4"
+        assert cell["seed"] == 3 and cell["k"] == 2
+        assert payload["plan"]["weights"] == ["unit"]
+
+    def test_verify_matrix_bad_plan_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="bad matrix plan"):
+            main(["verify", "--matrix", "--algorithms", "nope"])
+        with pytest.raises(SystemExit, match="bad matrix plan"):
+            main(["verify", "--matrix", "--graphs", "er:x:0.1"])
+
+    def test_verify_out_accepts_directory(self, capsys, tmp_path):
+        rc = main(
+            [
+                "verify", "--algorithm", "baswana-sen", "--graph", "er:24:0.2",
+                "-k", "3", "--out", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        saved = json.loads((tmp_path / "certificate.json").read_text())
+        assert saved["ok"] is True
+
+    def test_verify_matrix_recertifies_by_default(self, capsys, tmp_path):
+        out = tmp_path / "conf"
+        argv = [
+            "verify", "--matrix", "--json", "--algorithms", "baswana-sen",
+            "--graph", "er:24:0.2", "-k", "2", "--out", str(out),
+        ]
+        assert main(argv) == 0
+        fresh = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0  # default: stale certificates are recomputed
+        again = json.loads(capsys.readouterr().out)
+        assert fresh["num_cells"] == again["num_cells"] == 1
+        assert main(argv + ["--resume"]) == 0  # opt-in reuse for interruptions
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["ok"] is True

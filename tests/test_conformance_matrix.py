@@ -1,0 +1,172 @@
+"""Conformance matrix: plan shape, end-to-end runs, artifacts, resume.
+
+The final test is the PR's acceptance criterion executed directly: every
+registered algorithm (all spanner constructions and both APSP pipelines)
+certifies on 4+ representative graph families with zero bound violations.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+import repro.registry as registry
+from repro.core.results import SpannerResult
+from repro.registry import AlgorithmClaims, algorithm_names, register_spanner
+from repro.verify import (
+    DEFAULT_MATRIX_GRAPHS,
+    MatrixResult,
+    conformance_plan,
+    format_matrix_markdown,
+    run_matrix,
+)
+
+
+class TestConformancePlan:
+    def test_default_plan_covers_everything(self):
+        plan = conformance_plan()
+        assert plan.certify
+        assert set(plan.algorithms) == set(algorithm_names())
+        assert len(plan.graphs) >= 4
+        families = {g.split(":")[0] for g in plan.graphs}
+        assert len(families) >= 4  # distinct *families*, not just sizes
+
+    def test_plan_is_runner_compatible(self):
+        plan = conformance_plan(graphs=["er:32:0.2"], ks=[3])
+        trials = plan.trials()
+        assert all(t.certify for t in trials)
+        # One trial per (algorithm, graph, k, seed); t-axis collapsed for
+        # t-free algorithms, so count equals the algorithm count here.
+        assert len(trials) == len(algorithm_names())
+
+    def test_slack_rides_into_trials(self):
+        plan = conformance_plan(graphs=["er:32:0.2"], slack=2.5)
+        assert all(t.cert_slack == 2.5 for t in plan.trials())
+
+    def test_plan_json_round_trip_preserves_certify(self):
+        from repro.runner import ExperimentPlan
+
+        plan = conformance_plan(graphs=["er:32:0.2"], slack=1.5)
+        back = ExperimentPlan.from_json(plan.to_json())
+        assert back.certify and back.cert_slack == 1.5
+        assert [t.trial_id for t in back.trials()] == [
+            t.trial_id for t in plan.trials()
+        ]
+
+
+class TestRunMatrix:
+    def test_small_matrix_end_to_end_with_artifacts(self, tmp_path):
+        plan = conformance_plan(
+            algorithms=["baswana-sen", "streaming", "apsp-mpc"],
+            graphs=["er:48:0.15", "grid:5:6"],
+            ks=[3],
+            name="small-matrix",
+        )
+        result = run_matrix(plan, out_dir=tmp_path / "out")
+        assert result.ok
+        assert result.num_cells == 6
+        assert result.num_certified == 6
+
+        # Per-cell artifacts embed the full certificate.
+        trial_files = list((tmp_path / "out" / "trials").glob("*.json"))
+        assert len(trial_files) == 6
+        record = json.loads(trial_files[0].read_text())
+        assert record["cert_ok"] is True
+        assert record["certificate"]["checks"]
+
+        # Aggregates: matrix.json + the markdown grid.
+        matrix = json.loads((tmp_path / "out" / "matrix.json").read_text())
+        assert matrix["ok"] is True
+        assert matrix["num_cells"] == 6
+        assert {c["algorithm"] for c in matrix["cells"]} == {
+            "baswana-sen",
+            "streaming",
+            "apsp-mpc",
+        }
+        md = (tmp_path / "out" / "matrix.md").read_text()
+        assert "✓" in md and "baswana-sen" in md
+        assert "6/6 cells certified" in md
+
+        # results.csv stays scalar despite the embedded certificate dicts.
+        header = (tmp_path / "out" / "results.csv").read_text().splitlines()[0]
+        assert "certificate" not in header
+        assert "cert_ok" in header
+
+    def test_matrix_resume_executes_zero(self, tmp_path):
+        plan = conformance_plan(
+            algorithms=["baswana-sen", "general"], graphs=["er:32:0.2"], ks=[3]
+        )
+        first = run_matrix(plan, out_dir=tmp_path / "out")
+        again = run_matrix(plan, out_dir=tmp_path / "out")
+        assert first.executed == 2 and first.skipped == 0
+        assert again.executed == 0 and again.skipped == 2
+        assert again.ok
+
+    def test_matrix_requires_certifying_plan(self):
+        from pytest import raises
+
+        from repro.runner import ExperimentPlan
+
+        plan = ExperimentPlan(algorithms=["baswana-sen"], graphs=["er:16:0.3"], ks=[2])
+        with raises(ValueError, match="certify"):
+            run_matrix(plan)
+
+    def test_broken_algorithm_shows_as_violation_cell(self, tmp_path):
+        def broken(g, k, t, rng):
+            return SpannerResult(
+                edge_ids=np.arange(g.m // 2, dtype=np.int64),
+                algorithm="broken-matrix",
+                k=k,
+                t=t,
+                iterations=1,
+            )
+
+        claims = AlgorithmClaims(
+            stretch=lambda ctx: 2.0 * ctx.k - 1.0,
+            size=lambda ctx: float(ctx.m),
+            source="injected",
+        )
+        register_spanner("broken-matrix", loader=lambda: broken, claims=claims)
+        try:
+            plan = conformance_plan(
+                algorithms=["baswana-sen", "broken-matrix"],
+                graphs=["cycle:12"],
+                ks=[2],
+                weights=["unit"],
+            )
+            result = run_matrix(plan, out_dir=tmp_path / "out")
+        finally:
+            registry._REGISTRY.pop("broken-matrix", None)
+
+        assert not result.ok
+        assert result.num_certified == 1 and result.num_violations == 1
+        (bad,) = [c for c in result.cells if not c.ok]
+        assert bad.algorithm == "broken-matrix"
+        assert "stretch" in bad.violations
+        md = format_matrix_markdown(result)
+        assert "✗" in md and "stretch" in md
+
+    def test_error_cells_reported_not_raised(self):
+        # complete:3 with k=2 works; force an error via a bogus file spec.
+        plan = conformance_plan(
+            algorithms=["baswana-sen"], graphs=["file:/nonexistent.edges"], ks=[2]
+        )
+        result = run_matrix(plan)
+        assert result.num_errors == 1
+        assert not result.ok
+        assert "ERR" in format_matrix_markdown(result)
+
+
+def test_acceptance_full_registry_zero_violations():
+    """Acceptance criterion: all 10 spanners + both APSP pipelines certify
+    on the 5 representative families with zero bound violations."""
+    assert len(algorithm_names("spanner")) == 10
+    assert len(algorithm_names("apsp")) == 2
+    assert len(DEFAULT_MATRIX_GRAPHS) >= 4
+
+    result = run_matrix(conformance_plan())
+    assert isinstance(result, MatrixResult)
+    assert result.num_cells == 12 * len(DEFAULT_MATRIX_GRAPHS)
+    failures = [(c.algorithm, c.graph, c.status) for c in result.failures()]
+    assert result.ok, f"uncertified cells: {failures}"

@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) on core invariants.
 
-These generate random graphs and parameters and assert the *deterministic*
+These draw random scenarios from :mod:`tests.strategies` — the vocabulary
+shared with the certification subsystem — and assert the *deterministic*
 guarantees of each construction (subgraph property, stretch bound,
 component preservation) plus data-structure invariants (dedup idempotence,
 union-find/quotient consistency, routing deliverability).
@@ -23,7 +24,6 @@ from repro.core import (
 )
 from repro.graphs import (
     UnionFind,
-    WeightedGraph,
     connected_components,
     dedupe_edges,
     edge_stretch,
@@ -31,33 +31,9 @@ from repro.graphs import (
     quotient_edges,
     same_components,
 )
+from repro.graphs.specs import GraphSpec
 
-# ---------------------------------------------------------------------------
-# strategies
-# ---------------------------------------------------------------------------
-
-
-@st.composite
-def random_graph(draw, max_n: int = 40, max_m: int = 160, weighted: bool = True):
-    n = draw(st.integers(min_value=2, max_value=max_n))
-    m = draw(st.integers(min_value=0, max_value=min(max_m, n * (n - 1) // 2)))
-    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
-    rng = np.random.default_rng(seed)
-    max_pairs = n * (n - 1) // 2
-    codes = rng.choice(max_pairs, size=m, replace=False) if m else np.zeros(0, np.int64)
-    us, vs = [], []
-    for c in codes:
-        # decode triangular index
-        u = int(n - 2 - math.floor(math.sqrt(-8 * c + 4 * n * (n - 1) - 7) / 2 - 0.5))
-        v = int(c + u + 1 - n * (n - 1) // 2 + (n - u) * ((n - u) - 1) // 2)
-        us.append(u)
-        vs.append(v)
-    if weighted:
-        w = rng.uniform(0.5, 50.0, size=m)
-    else:
-        w = np.ones(m)
-    return WeightedGraph(n, np.asarray(us, np.int64), np.asarray(vs, np.int64), w)
-
+from tests.strategies import graph_spec_strings, random_graph, seeds, spanner_ks
 
 # ---------------------------------------------------------------------------
 # data-structure properties
@@ -164,7 +140,7 @@ def test_baswana_sen_guarantees(data):
 @settings(max_examples=15, deadline=None)
 def test_general_tradeoff_guarantees(data):
     g = data.draw(random_graph())
-    k = data.draw(st.integers(2, 8))
+    k = data.draw(spanner_ks)
     t = data.draw(st.integers(1, 4))
     seed = data.draw(st.integers(0, 1000))
     res = general_tradeoff(g, k, t, rng=seed)
@@ -179,7 +155,7 @@ def test_general_tradeoff_guarantees(data):
 @settings(max_examples=15, deadline=None)
 def test_cluster_merging_guarantees(data):
     g = data.draw(random_graph())
-    k = data.draw(st.integers(2, 8))
+    k = data.draw(spanner_ks)
     seed = data.draw(st.integers(0, 1000))
     res = cluster_merging(g, k, rng=seed)
     h = res.subgraph(g)
@@ -201,3 +177,39 @@ def test_two_phase_guarantees(data):
     assert same_components(g, h)
     rep = edge_stretch(g, h)
     assert rep.max_stretch <= 4 * k + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# the shared spec vocabulary itself
+# ---------------------------------------------------------------------------
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_spec_vocabulary_round_trips_and_builds(data):
+    """Every scenario the shared strategy can draw parses canonically and
+    builds — the precondition for the certifier speaking the same
+    vocabulary as these tests."""
+    text = data.draw(graph_spec_strings())
+    seed = data.draw(seeds)
+    spec = GraphSpec.parse(text)
+    assert spec.format() == text
+    g = spec.build(weights="uniform", seed=seed)
+    assert g.n >= 1
+
+
+@given(st.data())
+@settings(max_examples=10, deadline=None)
+def test_guarantees_hold_across_spec_families(data):
+    """Baswana–Sen's deterministic guarantee on generator-family scenarios
+    (not just direct edge scatters) — each counterexample is replayable as
+    ``repro verify --algorithm baswana-sen --graph <spec>``."""
+    text = data.draw(graph_spec_strings(max_n=32))
+    k = data.draw(spanner_ks)
+    seed = data.draw(st.integers(0, 1000))
+    g = GraphSpec.parse(text).build(weights="uniform", seed=seed)
+    res = baswana_sen(g, k, rng=seed)
+    h = res.subgraph(g)
+    assert is_spanning_subgraph(g, h)
+    assert same_components(g, h)
+    assert edge_stretch(g, h).max_stretch <= 2 * k - 1 + 1e-9

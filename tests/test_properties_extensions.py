@@ -18,7 +18,7 @@ from repro.graphs import (
 )
 from repro.streaming import streaming_spanner
 
-from tests.test_properties import random_graph  # reuse the graph strategy
+from tests.strategies import random_graph, spanner_ks  # the shared vocabulary
 
 
 @given(st.data())
@@ -45,7 +45,7 @@ def test_engine_invariant_alive_edges_inter_cluster(data):
 @settings(max_examples=15, deadline=None)
 def test_streaming_spanner_guarantees(data):
     g = data.draw(random_graph(max_n=30, max_m=120))
-    k = data.draw(st.integers(2, 8))
+    k = data.draw(spanner_ks)
     seed = data.draw(st.integers(0, 1000))
     res = streaming_spanner(g, k, rng=seed, order_seed=seed)
     h = res.subgraph(g)

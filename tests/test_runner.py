@@ -181,3 +181,90 @@ class TestRunPlan:
         victim.write_text("{not json")
         again = run_plan(plan, jobs=1, out_dir=out)
         assert again.executed == 1 and again.skipped == 7
+
+
+class TestResumeEdgeCases:
+    """Damaged artifact directories must degrade to re-execution, never to
+    a crash or to inconsistent aggregates."""
+
+    def _completed_run(self, tmp_path):
+        out = tmp_path / "results"
+        plan = small_plan()
+        run_plan(plan, jobs=1, out_dir=out)
+        return plan, out
+
+    def test_truncated_artifact_reruns(self, tmp_path):
+        plan, out = self._completed_run(tmp_path)
+        victim = sorted((out / "trials").glob("*.json"))[0]
+        # Simulate a crash mid-write: a valid JSON prefix, cut off.
+        victim.write_text(victim.read_text()[: len(victim.read_text()) // 2])
+        again = run_plan(plan, jobs=1, out_dir=out)
+        assert again.executed == 1 and again.skipped == 7
+        # The artifact is healed in place.
+        assert "trial_id" in json.loads(victim.read_text())
+
+    def test_empty_artifact_reruns(self, tmp_path):
+        plan, out = self._completed_run(tmp_path)
+        victim = sorted((out / "trials").glob("*.json"))[0]
+        victim.write_text("")
+        again = run_plan(plan, jobs=1, out_dir=out)
+        assert again.executed == 1 and again.skipped == 7
+
+    def test_foreign_json_artifact_reruns(self, tmp_path):
+        # Parses fine but is not a trial record (wrong shape / wrong id):
+        # must be re-executed, not trusted into the aggregates.
+        plan, out = self._completed_run(tmp_path)
+        victims = sorted((out / "trials").glob("*.json"))[:2]
+        victims[0].write_text("[1, 2, 3]\n")
+        victims[1].write_text(json.dumps({"trial_id": "deadbeef"}) + "\n")
+        again = run_plan(plan, jobs=1, out_dir=out)
+        assert again.executed == 2 and again.skipped == 6
+
+    def test_error_record_artifact_reruns(self, tmp_path):
+        plan, out = self._completed_run(tmp_path)
+        victim = sorted((out / "trials").glob("*.json"))[0]
+        record = json.loads(victim.read_text())
+        record["error"] = "RuntimeError: injected"
+        victim.write_text(json.dumps(record))
+        again = run_plan(plan, jobs=1, out_dir=out)
+        assert again.executed == 1 and again.skipped == 7
+        assert "error" not in json.loads(victim.read_text())
+
+    def test_aggregates_consistent_after_partial_resume(self, tmp_path):
+        plan, out = self._completed_run(tmp_path)
+        trials = plan.trials()
+        artifacts = sorted((out / "trials").glob("*.json"))
+        artifacts[0].unlink()                  # missing
+        artifacts[1].write_text("{truncat")    # corrupt
+        again = run_plan(plan, jobs=1, out_dir=out)
+        assert again.executed == 2 and again.skipped == 6
+
+        # results.csv: exactly one row per planned trial, in plan order.
+        with (out / "results.csv").open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert [r["trial_id"] for r in rows] == [t.trial_id for t in trials]
+        assert all(r["num_edges"] for r in rows)
+
+        # results.json agrees with the csv.
+        payload = json.loads((out / "results.json").read_text())
+        assert payload["num_trials"] == len(trials)
+        assert [r["trial_id"] for r in payload["records"]] == [
+            t.trial_id for t in trials
+        ]
+
+    def test_damaged_certified_run_heals_certificates(self, tmp_path):
+        # Same degradation story with certification enabled: the re-run
+        # cell gets a fresh certificate.
+        out = tmp_path / "certified"
+        plan = small_plan(
+            algorithms=["baswana-sen"], graphs=["er:48:0.2"], seeds=[0, 1],
+            verify_pairs=0, certify=True,
+        )
+        run_plan(plan, jobs=1, out_dir=out)
+        victim = sorted((out / "trials").glob("*.json"))[0]
+        victim.write_text("garbage")
+        again = run_plan(plan, jobs=1, out_dir=out)
+        assert again.executed == 1 and again.skipped == 1
+        healed = json.loads(victim.read_text())
+        assert healed["cert_ok"] is True
+        assert healed["certificate"]["checks"]

@@ -1,0 +1,305 @@
+"""Certification subsystem: claims, certificates, and violation detection.
+
+The load-bearing tests here are the *negative* ones: a certifier that
+cannot catch a broken algorithm certifies nothing.  We inject deliberately
+broken spanners through the public registry API and assert each declared
+bound kind (structure, stretch, size, rounds) is actually flagged.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.registry as registry
+from repro.core.results import SpannerResult
+from repro.graphs.specs import GraphSpec
+from repro.registry import (
+    AlgorithmClaims,
+    ClaimContext,
+    algorithm_names,
+    get_algorithm,
+    iter_algorithms,
+    register_spanner,
+)
+from repro.verify import BoundCheck, Certificate, certify, certify_result
+
+from tests.strategies import scenarios
+
+
+@contextlib.contextmanager
+def temporary_algorithm(name, fn, **kwargs):
+    """Register ``fn`` under ``name`` for the duration of a test."""
+    register_spanner(name, loader=lambda: fn, **kwargs)
+    try:
+        yield get_algorithm(name)
+    finally:
+        registry._REGISTRY.pop(name, None)
+        for alias in [a for a, tgt in registry.ALIASES.items() if tgt == name]:
+            registry.ALIASES.pop(alias)
+
+
+# ---------------------------------------------------------------------------
+# declared claims
+# ---------------------------------------------------------------------------
+
+
+class TestClaims:
+    def test_every_registered_algorithm_declares_claims(self):
+        for spec in iter_algorithms():
+            assert spec.claims is not None, f"{spec.name} has no claims"
+            assert spec.claims.stretch is not None, f"{spec.name} claims no stretch"
+            assert spec.claims.size is not None, f"{spec.name} claims no size"
+            assert spec.claims.source, f"{spec.name} cites no theorem"
+
+    def test_model_specific_budgets_declared(self):
+        assert get_algorithm("streaming").claims.passes is not None
+        for name in ("mpc", "mpc-nearlinear", "cc", "apsp-mpc", "apsp-cc"):
+            assert get_algorithm(name).claims.rounds is not None, name
+        assert get_algorithm("pram").claims.depth is not None
+
+    def test_claim_context_t_eff(self):
+        # None -> the paper default log2 k; always clamped into [1, k-1].
+        assert ClaimContext(n=10, m=20, k=8, t=None).t_eff == 3
+        assert ClaimContext(n=10, m=20, k=8, t=100).t_eff == 7
+        assert ClaimContext(n=10, m=20, k=2, t=None).t_eff == 1
+        assert ClaimContext(n=10, m=20, k=1, t=5).t_eff == 1
+
+    def test_claims_match_theorem_constants(self):
+        ctx = ClaimContext(n=100, m=500, k=4, t=None)
+        assert get_algorithm("baswana-sen").claims.stretch(ctx) == 7.0
+        assert get_algorithm("two-phase").claims.stretch(ctx) == 16.0
+        assert get_algorithm("cluster-merging").claims.stretch(ctx) == pytest.approx(
+            4.0 ** np.log2(3)
+        )
+        assert get_algorithm("streaming").claims.passes(ctx) == 3  # ceil(log2 4)+1
+
+    def test_claim_names(self):
+        assert get_algorithm("streaming").claims.names() == ["stretch", "size", "passes"]
+        assert get_algorithm("pram").claims.names() == ["stretch", "size", "depth"]
+
+
+# ---------------------------------------------------------------------------
+# positive certification + JSON round-trip
+# ---------------------------------------------------------------------------
+
+
+class TestCertify:
+    def test_baswana_sen_certifies(self):
+        cert = certify("baswana-sen", "er:64:0.15", k=3, seed=0)
+        assert cert.ok
+        assert cert.algorithm == "baswana-sen"
+        assert cert.kind == "spanner"
+        assert {c.name for c in cert.checks} >= {
+            "spanning-subgraph",
+            "connectivity",
+            "stretch",
+            "size",
+        }
+        stretch = cert.check("stretch")
+        assert stretch.bound == 5.0 and stretch.measured <= 5.0
+
+    def test_alias_resolves(self):
+        cert = certify("bs", "cycle:12", k=2, seed=1)
+        assert cert.algorithm == "baswana-sen"
+        assert cert.ok
+
+    def test_streaming_includes_pass_budget(self):
+        cert = certify("streaming", "er:64:0.15", k=4, seed=0)
+        assert cert.ok
+        passes = cert.check("passes")
+        assert passes is not None and passes.measured <= passes.bound == 3
+
+    def test_mpc_includes_round_budget(self):
+        cert = certify("mpc", "er:64:0.15", k=4, t=2, seed=0)
+        assert cert.ok
+        assert cert.check("rounds") is not None
+
+    def test_apsp_pipeline_certifies_with_default_parameters(self):
+        cert = certify("apsp-mpc", "er:64:0.15", seed=0)
+        assert cert.ok
+        assert cert.kind == "apsp"
+        assert cert.k >= 2  # the Section 7 default k = log2 n
+        assert cert.check("rounds") is not None
+
+    def test_unweighted_only_algorithm_forces_unit(self):
+        cert = certify("unweighted", "er:48:0.2", k=3, seed=0, weights="uniform")
+        assert cert.ok
+        assert cert.weights == "unit"
+
+    def test_certificate_json_round_trip(self):
+        cert = certify("general", "grid:5:6", k=4, t=2, seed=3)
+        data = cert.to_json()
+        assert data["ok"] is True
+        # JSON-serializable all the way down.
+        text = json.dumps(data)
+        back = Certificate.from_json(json.loads(text))
+        assert back.ok == cert.ok
+        assert back.algorithm == cert.algorithm
+        assert back.checks == cert.checks
+        assert back.graph == cert.graph
+        assert back.slack == cert.slack
+
+    def test_certificate_save_load(self, tmp_path):
+        cert = certify("cluster-merging", "cliques:4:5", k=4, seed=2)
+        path = tmp_path / "cert.json"
+        cert.save(path)
+        loaded = Certificate.load(path)
+        assert loaded == cert
+
+    def test_bound_check_round_trip_preserves_null_bound(self):
+        check = BoundCheck(name="connectivity", passed=True, measured=1.0)
+        assert BoundCheck.from_json(check.to_json()) == check
+
+
+# ---------------------------------------------------------------------------
+# violation detection: certifiers must catch broken algorithms
+# ---------------------------------------------------------------------------
+
+
+def _drop_heaviest_edge(g, k, t, rng):
+    """A 'spanner' that silently discards the heaviest edge — on a cycle
+    this preserves connectivity but blows the claimed stretch."""
+    keep = np.argsort(g.edges_w, kind="stable")[: max(g.m - 1, 0)]
+    return SpannerResult(
+        edge_ids=np.sort(keep.astype(np.int64)),
+        algorithm="broken-drop-heaviest",
+        k=k,
+        t=t,
+        iterations=1,
+    )
+
+
+def _drop_half_edges(g, k, t, rng):
+    """Discards half the edges — disconnects most graphs."""
+    return SpannerResult(
+        edge_ids=np.arange(g.m // 2, dtype=np.int64),
+        algorithm="broken-drop-half",
+        k=k,
+        t=t,
+        iterations=1,
+    )
+
+
+def _fake_rounds(g, k, t, rng):
+    """Returns the whole graph but reports an absurd round count."""
+    res = SpannerResult(
+        edge_ids=np.arange(g.m, dtype=np.int64),
+        algorithm="broken-rounds",
+        k=k,
+        t=t,
+        iterations=1,
+    )
+    res.extra["rounds"] = 10**9
+    return res
+
+
+class TestViolationDetection:
+    def test_stretch_violation_flagged(self):
+        claims = AlgorithmClaims(
+            stretch=lambda ctx: 2.0 * ctx.k - 1.0,
+            size=lambda ctx: float(ctx.m),
+            source="injected",
+        )
+        with temporary_algorithm("broken-stretch", _drop_heaviest_edge, claims=claims):
+            # Unit-weight cycle: removing one edge turns the worst pair's
+            # distance into n-1, far beyond 2k-1.
+            cert = certify("broken-stretch", "cycle:16", k=2, seed=0, weights="unit")
+        assert not cert.ok
+        assert [c.name for c in cert.violations] == ["stretch"]
+        assert cert.check("stretch").measured == 15.0  # the rerouted cycle edge
+
+    def test_disconnection_flagged(self):
+        claims = AlgorithmClaims(
+            stretch=lambda ctx: 100.0, size=lambda ctx: float(ctx.m), source="injected"
+        )
+        with temporary_algorithm("broken-disconnect", _drop_half_edges, claims=claims):
+            cert = certify("broken-disconnect", "cycle:12", k=3, seed=0)
+        assert not cert.ok
+        names = {c.name for c in cert.violations}
+        assert "connectivity" in names
+        assert "stretch" in names  # infinite measured stretch also fails
+
+    def test_size_violation_flagged_via_slack(self):
+        # The honest algorithm against an impossible size budget: proves the
+        # slack knob actually tightens the check.
+        claims = AlgorithmClaims(
+            stretch=lambda ctx: 2.0 * ctx.k - 1.0,
+            size=lambda ctx: 1.0,  # nothing real fits one edge
+            source="injected",
+        )
+
+        def honest(g, k, t, rng):
+            from repro.core import baswana_sen
+
+            return baswana_sen(g, k, rng=rng)
+
+        with temporary_algorithm("tiny-size-claim", honest, claims=claims):
+            cert = certify("tiny-size-claim", "er:48:0.2", k=3, seed=0)
+        assert not cert.ok
+        assert [c.name for c in cert.violations] == ["size"]
+
+    def test_rounds_violation_flagged(self):
+        claims = AlgorithmClaims(
+            stretch=lambda ctx: float("inf"),
+            size=lambda ctx: float("inf"),
+            rounds=lambda ctx: 10.0,
+            source="injected",
+        )
+        with temporary_algorithm("broken-rounds", _fake_rounds, claims=claims):
+            cert = certify("broken-rounds", "er:32:0.2", k=3, seed=0)
+        assert not cert.ok
+        rounds = cert.check("rounds")
+        assert rounds is not None and not rounds.passed
+        assert rounds.measured == 10**9 and rounds.bound == 10.0
+
+    def test_violating_certificate_round_trips(self):
+        claims = AlgorithmClaims(
+            stretch=lambda ctx: 2.0 * ctx.k - 1.0,
+            size=lambda ctx: float(ctx.m),
+            source="injected",
+        )
+        with temporary_algorithm("broken-rt", _drop_heaviest_edge, claims=claims):
+            cert = certify("broken-rt", "cycle:16", k=2, seed=0, weights="unit")
+        back = Certificate.from_json(json.loads(json.dumps(cert.to_json())))
+        assert not back.ok
+        assert back.summary().startswith("VIOLATED")
+
+    def test_certify_result_without_claims_still_checks_structure(self):
+        with temporary_algorithm("no-claims", _drop_half_edges):
+            spec = get_algorithm("no-claims")
+            g = GraphSpec.parse("cycle:12").build(weights="unit", seed=0)
+            res = spec.run(g, k=3, rng=0)
+            cert = certify_result(spec, g, res, graph="cycle:12")
+        assert {c.name for c in cert.checks} == {"spanning-subgraph", "connectivity"}
+        assert not cert.ok
+
+
+# ---------------------------------------------------------------------------
+# the acceptance sweep: every registered algorithm certifies somewhere
+# ---------------------------------------------------------------------------
+
+
+def test_all_registered_algorithms_certify_on_er():
+    for name in algorithm_names():
+        cert = certify(name, "er:72:0.1", k=4, seed=0)
+        assert cert.ok, f"{name}: {[c.name for c in cert.violations]}"
+
+
+@given(st.data())
+@settings(max_examples=10, deadline=None)
+def test_general_certifies_across_shared_scenarios(data):
+    """The certifier and the property tests speak one vocabulary: any
+    scenario the shared strategy draws must certify the honest general
+    algorithm (a counterexample replays as a `repro verify` command)."""
+    graph, k, t, weights, seed = data.draw(scenarios(max_n=32))
+    cert = certify("general", graph, k=k, t=t, seed=seed, weights=weights)
+    assert cert.ok, (
+        f"repro verify --algorithm general --graph {graph} -k {k} "
+        f"--seed {seed} --weights {weights} failed: "
+        f"{[c.name for c in cert.violations]}"
+    )
