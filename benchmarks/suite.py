@@ -1,0 +1,56 @@
+"""Cross-algorithm benchmark suite: every registered algorithm, one protocol.
+
+Thin standalone entry over :mod:`repro.bench` (the CLI exposes the same
+machinery as ``repro bench``).  Protocol (see EXPERIMENTS.md):
+
+1. Sweep all registered algorithms — 10 spanner constructions and both
+   APSP pipelines — over the fixed graph protocol (``er:2048:0.01`` for
+   spanners, ``er:512:0.05`` for APSP; smoke mode shrinks both), recording
+   wall time, edges/second, and spanner size per algorithm.
+2. Time the vectorized streaming pass processing and unweighted ball
+   collection against the frozen pre-vectorization references on the same
+   inputs, asserting bit-identical outputs (the ≥5x / ≥3x acceptance
+   numbers).
+3. Snapshot everything into ``BENCH_suite.json`` so `repro bench
+   --baseline` and CI can gate future changes on >2x slowdowns.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/suite.py [--smoke]
+"""
+
+from __future__ import annotations
+
+from repro.bench import (  # noqa: F401  (re-exported protocol surface)
+    NOISE_FLOOR_S,
+    SLOWDOWN_GATE,
+    STREAMING_PASS_GATE,
+    UNWEIGHTED_BALLS_GATE,
+    format_table,
+    hot_loop_gates,
+    run_suite,
+    slowdown_gate,
+)
+
+__all__ = [
+    "run_suite",
+    "format_table",
+    "slowdown_gate",
+    "hot_loop_gates",
+]
+
+
+if __name__ == "__main__":
+    import argparse
+    import json
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true", help="tiny-n smoke run")
+    args = ap.parse_args()
+    rec = run_suite(smoke=args.smoke)
+    print(format_table(rec))
+    ok, reasons = hot_loop_gates(rec)
+    for reason in reasons:
+        print(f"hot-loop gate: {reason}")
+    print(json.dumps(rec, indent=2, sort_keys=True))
+    raise SystemExit(0 if ok else 1)

@@ -7,13 +7,19 @@ always one command away::
 
     python scripts/bench_snapshot.py                    # distance-layer suite
     python scripts/bench_snapshot.py --suite runner     # experiment-runner suite
-    python scripts/bench_snapshot.py --suite all        # everything
+    python scripts/bench_snapshot.py --suite suite      # cross-algorithm suite
+    python scripts/bench_snapshot.py --suite full       # all three + trajectory diff
     python scripts/bench_snapshot.py --smoke            # tiny-n sanity run
 
 Suites and their artifacts:
 
 * ``distance`` -> ``BENCH_distance_layer.json`` (sketch/pairwise speedups)
 * ``runner``   -> ``BENCH_runner.json`` (sweep parallel speedup + resume)
+* ``suite``    -> ``BENCH_suite.json`` (all registered algorithms +
+  hot-loop before/after harness; see ``repro bench``)
+
+``--suite full`` regenerates all three in one invocation and prints a
+compact trajectory diff against the previously committed snapshots.
 
 No PYTHONPATH fiddling needed — the script wires up ``src`` and
 ``benchmarks`` itself.
@@ -30,6 +36,12 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
 
+OUT_PATHS = {
+    "distance": "BENCH_distance_layer.json",
+    "runner": "BENCH_runner.json",
+    "suite": "BENCH_suite.json",
+}
+
 
 def _write(record: dict, path: str) -> None:
     with open(path, "w") as fh:
@@ -38,39 +50,99 @@ def _write(record: dict, path: str) -> None:
     print(f"wrote {path}")
 
 
-def _run_distance(args) -> int:
+def _load_existing(path: str) -> dict | None:
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _run_distance(args, out_path: str) -> tuple[int, dict]:
     from bench_distance_layer import format_table, run_distance_layer_bench
 
     record = run_distance_layer_bench(smoke=args.smoke)
     print(format_table(record))
-    _write(record, args.out or os.path.join(REPO_ROOT, "BENCH_distance_layer.json"))
+    _write(record, out_path)
 
     if not args.smoke and record["sketch_preprocess"]["speedup"] < 5.0:
         print("WARNING: sketch preprocessing speedup fell below the 5x gate",
               file=sys.stderr)
-        return 1
-    return 0
+        return 1, record
+    return 0, record
 
 
-def _run_runner(args) -> int:
+def _run_runner(args, out_path: str) -> tuple[int, dict]:
     from bench_runner import format_table, run_runner_bench, speedup_gate
 
     record = run_runner_bench(smoke=args.smoke)
     print(format_table(record))
-    _write(record, args.out or os.path.join(REPO_ROOT, "BENCH_runner.json"))
+    _write(record, out_path)
 
+    rc = 0
     if record["resume"]["executed"] != 0:
         print("WARNING: sweep resume re-executed trials", file=sys.stderr)
-        return 1
+        rc = 1
     if not args.smoke:
         ok, reason = speedup_gate(record)
         print(f"speedup gate: {reason}", file=sys.stderr if not ok else sys.stdout)
         if not ok:
-            return 1
-    return 0
+            rc = 1
+    return rc, record
 
 
-SUITES = {"distance": _run_distance, "runner": _run_runner}
+def _run_suite(args, out_path: str) -> tuple[int, dict]:
+    from repro.bench import format_table, hot_loop_gates, run_suite
+
+    record = run_suite(smoke=args.smoke)
+    print(format_table(record))
+    _write(record, out_path)
+
+    ok, reasons = hot_loop_gates(record)
+    for reason in reasons:
+        print(f"hot-loop gate: {reason}", file=sys.stdout if ok else sys.stderr)
+    return (0 if ok else 1), record
+
+
+SUITES = {"distance": _run_distance, "runner": _run_runner, "suite": _run_suite}
+
+
+def _fmt(value, unit: str = "") -> str:
+    if value is None:
+        return "-"
+    return f"{value}{unit}"
+
+
+def _trajectory_diff(name: str, old: dict | None, new: dict) -> list[str]:
+    """Compact old -> new lines for a suite's headline metrics."""
+    lines: list[str] = []
+    if name == "distance":
+        o = (old or {}).get("sketch_preprocess", {}).get("speedup")
+        n = new.get("sketch_preprocess", {}).get("speedup")
+        lines.append(f"  distance sketch_preprocess.speedup: {_fmt(o, 'x')} -> {_fmt(n, 'x')}")
+    elif name == "runner":
+        o = (old or {}).get("speedup")
+        n = new.get("speedup")
+        oe = (old or {}).get("resume", {}).get("executed")
+        ne = new.get("resume", {}).get("executed")
+        lines.append(
+            f"  runner jobs-speedup: {_fmt(o, 'x')} -> {_fmt(n, 'x')}; "
+            f"resume.executed: {_fmt(oe)} -> {_fmt(ne)}"
+        )
+    elif name == "suite":
+        old_algos = (old or {}).get("algorithms", {})
+        for algo, rec in sorted(new.get("algorithms", {}).items()):
+            o = old_algos.get(algo, {}).get("wall_s")
+            n = rec.get("wall_s")
+            ratio = "" if not o else f" ({n / o:.2f}x)"
+            lines.append(f"  suite {algo}: {_fmt(o, 's')} -> {_fmt(n, 's')}{ratio}")
+        old_hot = (old or {}).get("hot_loops", {})
+        for key, rec in sorted(new.get("hot_loops", {}).items()):
+            o = old_hot.get(key, {}).get("speedup")
+            lines.append(
+                f"  suite hot-loop {key}: {_fmt(o, 'x')} -> {_fmt(rec.get('speedup'), 'x')}"
+            )
+    return lines
 
 
 def main() -> int:
@@ -78,9 +150,10 @@ def main() -> int:
     ap.add_argument("--smoke", action="store_true", help="tiny-n smoke run")
     ap.add_argument(
         "--suite",
-        choices=[*SUITES, "all"],
+        choices=[*SUITES, "all", "full"],
         default="distance",
-        help="which benchmark suite to run (default: distance)",
+        help="which benchmark suite to run; 'full' (or 'all') regenerates "
+        "every BENCH file and prints a trajectory diff (default: distance)",
     )
     ap.add_argument(
         "--out",
@@ -90,12 +163,21 @@ def main() -> int:
     )
     args = ap.parse_args()
 
-    names = list(SUITES) if args.suite == "all" else [args.suite]
+    names = list(SUITES) if args.suite in ("all", "full") else [args.suite]
     if args.out and len(names) > 1:
         ap.error("--out requires a single --suite")
     rc = 0
+    diffs: list[str] = []
     for name in names:
-        rc |= SUITES[name](args)
+        out_path = args.out or os.path.join(REPO_ROOT, OUT_PATHS[name])
+        old = _load_existing(out_path)
+        suite_rc, record = SUITES[name](args, out_path)
+        rc |= suite_rc
+        diffs += _trajectory_diff(name, old, record)
+    if len(names) > 1:
+        print("trajectory diff (committed -> this run):")
+        for line in diffs:
+            print(line)
     return rc
 
 

@@ -58,6 +58,20 @@ def _attempt(edges: EdgeSet, labels, radius, p, rng, epoch):
     return out, clone
 
 
+def _live_seeds(labels: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Sorted distinct cluster seeds among ``labels >= 0``.
+
+    Labels are seed ids in ``[0, num_nodes)``, so a scatter into a flag
+    array replaces the per-iteration ``np.unique`` sort — O(n) instead of
+    O(n log n), same sorted result.
+    """
+    flags = np.zeros(num_nodes, dtype=bool)
+    clustered = labels >= 0
+    if clustered.any():
+        flags[labels[clustered]] = True
+    return np.flatnonzero(flags)
+
+
 def spanner_cc(
     g: WeightedGraph,
     k: int,
@@ -132,7 +146,7 @@ def spanner_cc(
             cc.charge_broadcast_word(name="sampling-bits")
             cc.charge_aggregate(name="run-counters")
 
-            num_clusters = max(int(np.unique(labels[labels >= 0]).size), 1)
+            num_clusters = max(int(_live_seeds(labels, num_nodes).size), 1)
             sample_cap = max(size_slack * num_clusters * p, size_slack * log_n)
             added_cap = size_slack * num_clusters / max(p, 1e-12)
 
@@ -163,7 +177,7 @@ def spanner_cc(
 
         # --- contraction (pure relabeling; announced in one broadcast) -----
         clustered = labels >= 0
-        seeds = np.unique(labels[clustered]) if clustered.any() else np.zeros(0, np.int64)
+        seeds = _live_seeds(labels, num_nodes)
         seed_to_new = np.full(num_nodes, -1, dtype=np.int64)
         seed_to_new[seeds] = np.arange(seeds.size)
         new_id = np.empty(num_nodes, dtype=np.int64)

@@ -23,6 +23,11 @@ Commands
     (``repro verify --algorithm ... --graph ...``) or a full conformance
     matrix over algorithms x graph families x seeds (``repro verify
     --matrix``).
+``bench``
+    Run the cross-algorithm benchmark suite (every registered algorithm +
+    the hot-loop before/after harness), write ``BENCH_suite.json``, and —
+    given ``--baseline`` — fail on a >2x per-algorithm slowdown (with
+    graceful timer-noise skips).
 
 Algorithms come from :mod:`repro.registry`; graphs are generated on the fly
 from ``--graph`` specs like ``er:512:0.06`` or loaded from disk with
@@ -384,6 +389,52 @@ def _cmd_verify(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_bench(args) -> int:
+    from .bench import format_table, hot_loop_gates, run_suite, slowdown_gate
+
+    record = run_suite(smoke=args.smoke)
+
+    gate_ok = True
+    gate_lines: list[str] = []
+    hot_ok, hot_reasons = hot_loop_gates(record)
+    gate_ok &= hot_ok
+    gate_lines += [f"hot-loop gate: {r}" for r in hot_reasons]
+    if args.baseline:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"bench: cannot load baseline {args.baseline!r}: {exc}")
+        slow_ok, slow_reasons = slowdown_gate(record, baseline)
+        gate_ok &= slow_ok
+        gate_lines += [f"slowdown gate: {r}" for r in slow_reasons]
+
+    if args.out:
+        import os
+
+        parent = os.path.dirname(os.path.abspath(args.out))
+        os.makedirs(parent, exist_ok=True)
+        with open(args.out, "w") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    if args.json:
+        print(
+            json.dumps(
+                {"record": record, "gates_ok": gate_ok, "gates": gate_lines},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(format_table(record))
+        for line in gate_lines:
+            print(line)
+        if args.out:
+            print(f"wrote {args.out}")
+    return 0 if gate_ok else 1
+
+
 def make_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -441,6 +492,22 @@ def make_parser() -> argparse.ArgumentParser:
     sp.add_argument("--dry-run", action="store_true", help="list trials, run nothing")
     sp.add_argument("--json", action="store_true", help="summary as JSON")
     sp.set_defaults(fn=_cmd_sweep)
+
+    sp = sub.add_parser(
+        "bench", help="run the cross-algorithm benchmark suite"
+    )
+    sp.add_argument("--smoke", action="store_true", help="tiny sizes, single trial")
+    sp.add_argument(
+        "--out", default=None, help="write the suite record JSON to this path"
+    )
+    sp.add_argument(
+        "--baseline",
+        default=None,
+        help="committed BENCH_suite.json to gate against (>2x slowdown fails; "
+        "timer-noise cells are skipped with a reason)",
+    )
+    sp.add_argument("--json", action="store_true", help="machine-readable output")
+    sp.set_defaults(fn=_cmd_bench)
 
     sp = sub.add_parser(
         "verify", help="certify algorithms against their declared paper bounds"

@@ -25,6 +25,7 @@ __all__ = [
     "apsp",
     "pairwise_distances",
     "bfs_hops",
+    "batched_capped_bfs",
     "connected_components",
     "same_components",
     "eccentricity",
@@ -224,6 +225,225 @@ def k_hop_ball(g: WeightedGraph, source: int, hops: int, *, cap: int | None = No
         count += new.size
         frontier = new
     return np.concatenate(parts)
+
+
+def _batched_capped_bfs_block(g: WeightedGraph, src: np.ndarray, hops: int, cap: int):
+    """One block of :func:`batched_capped_bfs`: all sources advance one BFS
+    level per numpy step (frontier arrays + segment counting for the cap).
+
+    Like the scalar BFS — and unlike the sort-based frontier helpers — no
+    per-level sort is needed: candidates arrive slot-grouped in scan order
+    (the frontier is slot-grouped and the CSR gather preserves order), so
+    per-(slot, vertex) first occurrences fall out of one reversed scatter
+    into a scratch mark array, and the cap is enforced by segment counting.
+    Each level consumes its frontier in doubling per-slot windows, so a
+    slot stops gathering arcs (almost) as soon as its cap is reached —
+    the vectorized analogue of the scalar loop's mid-scan early exit,
+    without which dense slots would gather whole frontier neighborhoods
+    only to discard all but ``cap`` vertices.
+    """
+    n = g.n
+    s = src.size
+    csr = g.csr
+    seen = np.zeros(s * n, dtype=bool)  # flat (slot, vertex) bitmap
+    slots = np.arange(s, dtype=np.int64)
+    seen[slots * n + src] = True
+    counts = np.ones(s, dtype=np.int64)  # ball sizes so far (the source)
+    capped = np.zeros(s, dtype=bool)
+
+    # Flat ball entries, accumulated level by level.
+    p_slot = [slots]
+    p_vtx = [src.astype(np.int64)]
+    p_edge = [np.full(s, -1, dtype=np.int64)]
+    p_ppos = [np.zeros(s, dtype=np.int64)]  # local position of the parent
+    p_lpos = [np.zeros(s, dtype=np.int64)]  # local position of the entry
+
+    # --- Level 1: the source's own CSR row, clipped to the cap ------------
+    # Neighbors of a source are distinct and unseen, so no dedupe is needed
+    # and only the first min(degree, cap - 1) arcs are ever gathered (the
+    # append-then-check scalar loop takes at least one).
+    if hops >= 1 and s:
+        deg = csr.indptr[src + 1] - csr.indptr[src]
+        room = np.maximum(cap - 1, 1)
+        take_n = np.minimum(deg, room)
+        capped |= deg >= room
+        total = int(take_n.sum())
+        if total:
+            reps = np.repeat(slots, take_n)
+            within = np.arange(total) - np.repeat(np.cumsum(take_n) - take_n, take_n)
+            flatpos = csr.indptr[src][reps] + within
+            new_v = csr.indices[flatpos].astype(np.int64)
+            new_lpos = within + 1  # after the source at local position 0
+            seen[reps * n + new_v] = True
+            counts += take_n
+            p_slot.append(reps)
+            p_vtx.append(new_v)
+            p_edge.append(csr.edge_ids[flatpos].astype(np.int64))
+            p_ppos.append(np.zeros(total, dtype=np.int64))
+            p_lpos.append(new_lpos)
+            carry = ~capped[reps]
+            f_slot, f_vtx, f_lpos = reps[carry], new_v[carry], new_lpos[carry]
+        else:
+            f_slot = f_vtx = f_lpos = np.zeros(0, dtype=np.int64)
+    else:
+        f_slot = f_vtx = f_lpos = np.zeros(0, dtype=np.int64)
+
+    # Frontier: (slot, vertex, local position), slot-grouped in scan order.
+    for _ in range(max(hops - 1, 0)):
+        if f_vtx.size == 0:
+            break
+        # Rank of each frontier entry within its slot's segment.
+        seg = np.ones(f_slot.size, dtype=bool)
+        seg[1:] = f_slot[1:] != f_slot[:-1]
+        seg_start = np.flatnonzero(seg)
+        seg_len = np.diff(np.append(seg_start, f_slot.size))
+        frank = np.arange(f_slot.size) - np.repeat(seg_start, seg_len)
+        fcur = np.zeros(s, dtype=np.int64)  # frontier entries consumed
+        window = 1
+        nxt: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        while True:
+            rem = ~capped[f_slot] & (frank >= fcur[f_slot])
+            if not rem.any():
+                break
+            sub = np.flatnonzero(rem & (frank < fcur[f_slot] + window))
+            fcur += np.bincount(f_slot[sub], minlength=s)
+            window = min(window * 2, 1 << 20)
+            sub_slot = f_slot[sub]
+            sub_ppos = f_lpos[sub]
+            flat, rep = _gather_neighbors(csr, f_vtx[sub])
+            if flat.size == 0:
+                continue
+            cand_v = csr.indices[flat]
+            cand_e = csr.edge_ids[flat]
+            cand_slot = sub_slot[rep]
+            cand_ppos = sub_ppos[rep]
+            unseen = ~seen[cand_slot * n + cand_v]
+            if not unseen.any():
+                continue
+            cand_v, cand_e, cand_slot, cand_ppos = (
+                cand_v[unseen], cand_e[unseen], cand_slot[unseen], cand_ppos[unseen],
+            )
+            # First occurrence per (slot, vertex) in scan order.  Windows
+            # are small (a few entries per live slot), so a per-window
+            # stable sort is cheap — no O(s·n) scratch array needed.
+            scan = np.arange(cand_v.size)
+            order = np.lexsort((scan, cand_v, cand_slot))
+            cs, cv = cand_slot[order], cand_v[order]
+            lead = np.ones(order.size, dtype=bool)
+            lead[1:] = (cs[1:] != cs[:-1]) | (cv[1:] != cv[:-1])
+            first = np.sort(order[lead])  # back to scan order, slot-grouped
+            new_v, new_e, new_slot, new_ppos = (
+                cand_v[first], cand_e[first], cand_slot[first], cand_ppos[first],
+            )
+            # Cap by segment counting: rank within the slot's new vertices
+            # vs the room left under the cap.  The scalar loop appends,
+            # then checks, so it always takes at least one vertex (cf.
+            # k_hop_ball).
+            nseg = np.ones(new_slot.size, dtype=bool)
+            nseg[1:] = new_slot[1:] != new_slot[:-1]
+            nstart = np.flatnonzero(nseg)
+            nlen = np.diff(np.append(nstart, new_slot.size))
+            rank = np.arange(new_slot.size) - np.repeat(nstart, nlen)
+            room = np.maximum(cap - counts[new_slot], 1)
+            take = rank < room
+            now_capped = nlen >= np.maximum(cap - counts[new_slot[nstart]], 1)
+            capped[new_slot[nstart[now_capped]]] = True
+
+            new_v, new_e, new_slot, new_ppos, rank = (
+                new_v[take], new_e[take], new_slot[take], new_ppos[take], rank[take],
+            )
+            new_lpos = counts[new_slot] + rank
+            seen[new_slot * n + new_v] = True
+            counts += np.bincount(new_slot, minlength=s)
+
+            p_slot.append(new_slot)
+            p_vtx.append(new_v)
+            p_edge.append(new_e)
+            p_ppos.append(new_ppos)
+            p_lpos.append(new_lpos)
+
+            # Capped sources stop exploring; the rest carry the new
+            # vertices into the next level.
+            carry = ~capped[new_slot]
+            nxt.append((new_slot[carry], new_v[carry], new_lpos[carry]))
+        if nxt:
+            f_slot = np.concatenate([x[0] for x in nxt])
+            f_vtx = np.concatenate([x[1] for x in nxt])
+            f_lpos = np.concatenate([x[2] for x in nxt])
+            # Windows interleave slots across rounds; restore slot grouping
+            # (stable, so per-slot discovery order is untouched).
+            order = np.argsort(f_slot, kind="stable")
+            f_slot, f_vtx, f_lpos = f_slot[order], f_vtx[order], f_lpos[order]
+        else:
+            f_slot = f_vtx = f_lpos = np.zeros(0, dtype=np.int64)
+
+    # Assemble without sorting: each entry's flat destination is known
+    # directly from its slot and local position.
+    indptr = np.zeros(s + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    slot_all = np.concatenate(p_slot)
+    dest = indptr[slot_all] + np.concatenate(p_lpos)
+    total = int(indptr[-1])
+    ball = np.empty(total, dtype=np.int64)
+    parent_edge = np.empty(total, dtype=np.int64)
+    parent_pos = np.empty(total, dtype=np.int64)
+    ball[dest] = np.concatenate(p_vtx)
+    parent_edge[dest] = np.concatenate(p_edge)
+    parent_pos[dest] = indptr[slot_all] + np.concatenate(p_ppos)
+    return indptr, ball, parent_edge, parent_pos, ~capped
+
+
+def batched_capped_bfs(
+    g: WeightedGraph, sources: np.ndarray, hops: int, cap: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Capped BFS from many sources at once, over the cached CSR.
+
+    The batched equivalent of growing one capped ball per source with a
+    scalar BFS: every source's ball is explored in the same scan order as
+    the per-vertex loop (frontier order crossed with CSR neighbor order,
+    first occurrences kept), and exploration stops for a source the moment
+    its ball reaches ``cap`` vertices.  Sources are processed in chunks so
+    the ``(sources, n)`` visited bitmap stays bounded.
+
+    Returns ``(indptr, ball, parent_edge, parent_pos, complete)``:
+
+    * ``ball[indptr[i]:indptr[i+1]]`` — BFS order of ``sources[i]``;
+    * ``parent_edge`` — per entry, the edge id used to reach it (-1 for
+      the source itself);
+    * ``parent_pos`` — per entry, the *flat index into ball* of its BFS
+      parent (its own index for the source), so root-ward path walks are
+      lockstep array gathers;
+    * ``complete[i]`` — False iff the cap stopped the exploration (the
+      vertex is *dense* in the Appendix B sense).
+    """
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    if cap < 1:
+        raise ValueError("cap must be positive")
+    sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+    if sources.size and (sources.min() < 0 or sources.max() >= g.n):
+        raise ValueError("source out of range")
+    chunk = max(1, _CHUNK_ENTRIES // max(g.n, 1))
+    parts = []
+    for lo in range(0, sources.size, chunk):
+        parts.append(
+            _batched_capped_bfs_block(g, sources[lo : lo + chunk], hops, cap)
+        )
+    if len(parts) == 1:
+        return parts[0]
+    if not parts:
+        z = np.zeros(0, dtype=np.int64)
+        return np.zeros(1, dtype=np.int64), z, z, z, np.zeros(0, dtype=bool)
+    sizes = [p[1].size for p in parts]
+    offsets = np.cumsum([0] + sizes[:-1])
+    indptr = np.concatenate(
+        [parts[0][0]] + [p[0][1:] + off for p, off in zip(parts[1:], offsets[1:])]
+    )
+    ball = np.concatenate([p[1] for p in parts])
+    parent_edge = np.concatenate([p[2] for p in parts])
+    parent_pos = np.concatenate([p[3] + off for p, off in zip(parts, offsets)])
+    complete = np.concatenate([p[4] for p in parts])
+    return indptr, ball, parent_edge, parent_pos, complete
 
 
 def connected_components(g: WeightedGraph) -> np.ndarray:

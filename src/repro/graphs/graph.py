@@ -31,8 +31,37 @@ __all__ = [
     "WeightedGraph",
     "canonical_edges",
     "dedupe_edges",
+    "lockstep_run_lookup",
     "sorted_lookup",
+    "sorted_pair_lookup",
 ]
+
+
+def lockstep_run_lookup(
+    values: np.ndarray, lo: np.ndarray, hi: np.ndarray, queries: np.ndarray
+) -> np.ndarray:
+    """Is ``queries[i]`` present in the sorted run ``values[lo[i]:hi[i]]``?
+
+    Lower-bound binary search advanced in lockstep for every query at once
+    (``O(log max-run)`` numpy passes) — the shared kernel behind
+    :func:`sorted_pair_lookup` and the streaming discard-record probes.
+    """
+    l = lo.copy()
+    r = hi.copy()
+    active = l < r
+    while active.any():
+        mid = (l + r) >> 1
+        less = np.zeros(l.size, dtype=bool)
+        less[active] = values[mid[active]] < queries[active]
+        go = active & less
+        l[go] = mid[go] + 1
+        stay = active & ~less
+        r[stay] = mid[stay]
+        active = l < r
+    found = np.zeros(queries.size, dtype=bool)
+    cand = l < hi
+    found[cand] = values[l[cand]] == queries[cand]
+    return found
 
 
 def sorted_lookup(haystack: np.ndarray, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -50,6 +79,28 @@ def sorted_lookup(haystack: np.ndarray, keys: np.ndarray) -> tuple[np.ndarray, n
     pos = np.searchsorted(haystack, keys)
     clipped = np.minimum(pos, haystack.size - 1)
     return (pos < haystack.size) & (haystack[clipped] == keys), clipped
+
+
+def sorted_pair_lookup(
+    hay_a: np.ndarray, hay_b: np.ndarray, qa: np.ndarray, qb: np.ndarray
+) -> np.ndarray:
+    """Vectorized membership of ``(qa, qb)`` pairs in a lexsorted pair set.
+
+    ``(hay_a, hay_b)`` is a set of integer pairs sorted by
+    ``np.lexsort((hay_b, hay_a))`` order.  Unlike packing pairs into a
+    single ``a * n + b`` integer key (whose range is O(n²) and whose ``n``
+    must be threaded everywhere), this keys directly on the structured
+    pair: one ``searchsorted`` on the first key locates each query's
+    ``a``-run, then a vectorized binary search (lockstep over all queries,
+    ``O(log |haystack|)`` numpy passes) finds ``b`` inside the run.
+    """
+    qa = np.asarray(qa).ravel()
+    qb = np.asarray(qb).ravel()
+    if hay_a.size == 0 or qa.size == 0:
+        return np.zeros(qa.shape, dtype=bool)
+    lo = np.searchsorted(hay_a, qa, side="left")
+    hi = np.searchsorted(hay_a, qa, side="right")
+    return lockstep_run_lookup(hay_b, lo, hi, qb)
 
 
 def canonical_edges(

@@ -1,7 +1,7 @@
 """Machine-level MPC implementations (Sections 6, 7, Appendix B.2.1)."""
 
 from .apsp import MPCApspResult, apsp_mpc
-from .ball_growing import BallGrowingResult, grow_balls_mpc
+from .ball_growing import BallGrowingResult, grow_balls_mpc, grow_balls_mpc_reference
 from .nearlinear import spanner_mpc_nearlinear
 from .spanner_mpc import spanner_mpc
 
@@ -11,5 +11,6 @@ __all__ = [
     "apsp_mpc",
     "MPCApspResult",
     "grow_balls_mpc",
+    "grow_balls_mpc_reference",
     "BallGrowingResult",
 ]

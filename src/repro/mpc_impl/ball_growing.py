@@ -15,6 +15,16 @@ subtleties the paper calls out, both reproduced here:
   simulator charges exactly that: per step, one sort to group requests,
   one broadcast down the replication trees, and the measured total
   message volume is validated against the ``O(n^{1+γ})`` budget.
+
+Vectorization: balls live in one flat ``(indptr, members)`` CSR instead of
+a list of per-vertex arrays, and a doubling step is the same segment-op
+vocabulary as the growth engine — one repeat-gather expands every
+requested ball, one lexsort groups the candidates per (owner, vertex),
+and segment counting reproduces the scalar prefix-union capping exactly
+(merging balls in ball order and stopping at the first prefix whose union
+exceeds the cap).  :func:`grow_balls_mpc_reference` preserves the
+pre-vectorization per-vertex ``np.union1d`` loop verbatim; the
+equivalence tests certify identical balls, flags, rounds, and words.
 """
 
 from __future__ import annotations
@@ -27,7 +37,7 @@ from ..graphs.graph import WeightedGraph
 from ..mpc.config import MPCConfig
 from ..mpc.simulator import MPCSimulator
 
-__all__ = ["BallGrowingResult", "grow_balls_mpc"]
+__all__ = ["BallGrowingResult", "grow_balls_mpc", "grow_balls_mpc_reference"]
 
 
 class BallGrowingResult:
@@ -77,6 +87,43 @@ def _merge_capped(a: np.ndarray, b: np.ndarray, center: int, cap: int) -> np.nda
     return _truncate_keeping(np.union1d(a, b), center, cap)
 
 
+def _segment_ranks(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """For a group-contiguous key array: (segment starts, lengths, ranks)."""
+    seg = np.ones(keys.size, dtype=bool)
+    seg[1:] = keys[1:] != keys[:-1]
+    starts = np.flatnonzero(seg)
+    lengths = np.diff(np.append(starts, keys.size))
+    ranks = np.arange(keys.size) - np.repeat(starts, lengths)
+    return starts, lengths, ranks
+
+
+def _truncate_balls_flat(
+    owner: np.ndarray, vtx: np.ndarray, cap: int, n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-owner ``_truncate_keeping`` over (owner, vtx)-sorted flat rows.
+
+    Keeps each owner's ``cap`` smallest vertices, force-including the
+    owner itself (dropping the ``cap``-th smallest to make room), exactly
+    like the scalar helper.  Returns the filtered ``(owner, vtx)`` rows.
+    """
+    if owner.size == 0:
+        return owner, vtx
+    starts, lengths, ranks = _segment_ranks(owner)
+    is_center = vtx == owner
+    # Per owner: the center's rank (every ball contains its center).
+    center_rank = np.zeros(n, dtype=np.int64)
+    center_rank[owner[is_center]] = ranks[is_center]
+    over = lengths > cap
+    over_owner = np.zeros(n, dtype=bool)
+    over_owner[owner[starts[over]]] = True
+    center_out = over_owner & (center_rank >= cap)
+    keep = ranks < cap
+    row_center_out = center_out[owner]
+    keep[row_center_out & (ranks == cap - 1)] = False
+    keep[row_center_out & is_center] = True
+    return owner[keep], vtx[keep]
+
+
 def grow_balls_mpc(
     g: WeightedGraph,
     radius: int,
@@ -120,7 +167,137 @@ def grow_balls_mpc(
     )
     sim = MPCSimulator(config)
 
-    # B_1(v) = {v} ∪ N(v), capped.
+    # B_1(v) = {v} ∪ N(v), capped: one (owner, vtx) sort of the CSR rows
+    # plus the centers, then the flat per-owner truncation.
+    csr = g.csr
+    deg = np.diff(csr.indptr)
+    owner = np.concatenate([np.repeat(np.arange(n, dtype=np.int64), deg),
+                            np.arange(n, dtype=np.int64)])
+    vtx = np.concatenate([csr.indices.astype(np.int64),
+                          np.arange(n, dtype=np.int64)])
+    order = np.lexsort((vtx, owner))
+    owner, vtx = owner[order], vtx[order]
+    capped = (deg + 1) > cap
+    owner, vtx = _truncate_balls_flat(owner, vtx, cap, n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(owner, minlength=n), out=indptr[1:])
+    members = vtx
+    total_words = int(members.size)
+
+    steps = max(0, math.ceil(math.log2(max(radius, 1)))) if radius > 1 else 0
+    for _ in range(steps):
+        sizes = indptr[1:] - indptr[:-1]
+        # Requests: v asks each w in B(v) for B(w).  Count per-target
+        # request loads (the star-center explosion) and serve them through
+        # replication trees: one sort + one broadcast, O(1/γ) rounds each.
+        req_words = int(sizes[members].sum())
+        total_words += req_words
+        sim.charge("sort", records_moved=int(members.size))
+        sim.charge("segment_broadcast", records_moved=req_words)
+
+        act = np.flatnonzero(~capped)
+        if act.size == 0:
+            continue
+        # --- Expand: for active v and the j-th member w of B(v), every
+        # vertex of B(w) becomes a candidate tagged (v, j). -----------------
+        a_start = indptr[act]
+        a_cnt = sizes[act]
+        a_total = int(a_cnt.sum())
+        rep = np.repeat(np.arange(act.size), a_cnt)
+        within = np.arange(a_total) - np.repeat(np.cumsum(a_cnt) - a_cnt, a_cnt)
+        w = members[a_start[rep] + within]  # requested ball owners, in ball order
+        w_rank = within  # merge order = position of w in B(v)
+        w_owner = act[rep]
+        w_cnt = sizes[w]
+        c_total = int(w_cnt.sum())
+        rep2 = np.repeat(np.arange(w.size), w_cnt)
+        within2 = np.arange(c_total) - np.repeat(np.cumsum(w_cnt) - w_cnt, w_cnt)
+        cand_vtx = members[indptr[w][rep2] + within2]
+        cand_owner = w_owner[rep2]
+        cand_rank = w_rank[rep2]
+        # The base set U_0 = B(v) itself (the scalar accumulator starts
+        # there before any merge): rank -1.
+        cand_owner = np.concatenate([w_owner, cand_owner])
+        cand_vtx = np.concatenate([w, cand_vtx])
+        cand_rank = np.concatenate([np.full(w.size, -1, dtype=np.int64), cand_rank])
+
+        # --- Distinct (owner, vtx) with the earliest merge rank ------------
+        order = np.lexsort((cand_rank, cand_vtx, cand_owner))
+        o_s, v_s, r_s = cand_owner[order], cand_vtx[order], cand_rank[order]
+        lead = np.ones(o_s.size, dtype=bool)
+        lead[1:] = (o_s[1:] != o_s[:-1]) | (v_s[1:] != v_s[:-1])
+        o_u, v_u, r_u = o_s[lead], v_s[lead], r_s[lead]  # sorted by (owner, vtx)
+
+        # --- Prefix-union capping: the scalar loop merges B(w) in ball
+        # order and stops at the first prefix whose union exceeds the cap;
+        # the surviving set is then the cap smallest of that prefix union
+        # (center kept).  j* falls out of one (owner, rank) sort. ----------
+        rorder = np.lexsort((r_u, o_u))
+        o_r = o_u[rorder]
+        _, _, cum = _segment_ranks(o_r)
+        exceeded = cum + 1 > cap  # union size after this member arrives
+        j_star = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+        exc_idx = np.flatnonzero(exceeded)
+        if exc_idx.size:
+            # First exceeded position per owner (rorder is owner-grouped).
+            eo = o_r[exc_idx]
+            first = np.ones(eo.size, dtype=bool)
+            first[1:] = eo[1:] != eo[:-1]
+            fo = exc_idx[first]
+            j_star[o_r[fo]] = r_u[rorder][fo]
+            capped[o_r[fo]] = True
+        keep = r_u <= j_star[o_u]
+        o_k, v_k = o_u[keep], v_u[keep]  # still (owner, vtx)-sorted
+        o_k, v_k = _truncate_balls_flat(o_k, v_k, cap, n)
+
+        # --- Reassemble: frozen balls of previously capped vertices plus
+        # the grown balls of the active ones. ------------------------------
+        frozen = np.ones(n, dtype=bool)
+        frozen[act] = False
+        frozen_rows = frozen[np.repeat(np.arange(n), sizes)]
+        f_owner = np.repeat(np.arange(n), sizes)[frozen_rows]
+        f_vtx = members[frozen_rows]
+        owner_all = np.concatenate([f_owner, o_k])
+        vtx_all = np.concatenate([f_vtx, v_k])
+        order = np.lexsort((vtx_all, owner_all))
+        owner_all, vtx_all = owner_all[order], vtx_all[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(owner_all, minlength=n), out=indptr[1:])
+        members = vtx_all
+
+    balls = [members[indptr[i] : indptr[i + 1]] for i in range(n)]
+    complete = ~capped
+    return BallGrowingResult(
+        balls=balls,
+        complete=complete,
+        rounds=sim.rounds,
+        total_words=total_words,
+        cap=cap,
+        config=config,
+    )
+
+
+def grow_balls_mpc_reference(
+    g: WeightedGraph,
+    radius: int,
+    *,
+    gamma: float = 0.5,
+    cap: int | None = None,
+    memory_constant: float = 64.0,
+) -> BallGrowingResult:
+    """Pre-vectorization :func:`grow_balls_mpc` (per-vertex ``np.union1d``
+    merge loops), frozen as the equivalence reference.  Do not optimize."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    n = g.n
+    if cap is None:
+        cap = max(4, int(math.ceil(n ** (gamma / 2.0))))
+    config = MPCConfig(
+        n=max(n, 1), gamma=gamma, total_words=4 * (g.m + n) + 16,
+        memory_constant=memory_constant,
+    )
+    sim = MPCSimulator(config)
+
     csr = g.csr
     balls: list[np.ndarray] = []
     capped = np.zeros(n, dtype=bool)
@@ -135,9 +312,6 @@ def grow_balls_mpc(
 
     steps = max(0, math.ceil(math.log2(max(radius, 1)))) if radius > 1 else 0
     for _ in range(steps):
-        # Requests: v asks each w in B(v) for B(w).  Count per-target
-        # request loads (the star-center explosion) and serve them through
-        # replication trees: one sort + one broadcast, O(1/γ) rounds each.
         req_targets = np.concatenate([b for b in balls]) if balls else np.zeros(0, np.int64)
         req_words = int(sum(balls[int(w)].size for w in req_targets))
         total_words += req_words

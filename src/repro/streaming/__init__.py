@@ -1,6 +1,6 @@
 """Multi-pass streaming substrate and the streaming spanner (Section 2.4)."""
 
-from .spanner_stream import streaming_spanner
+from .spanner_stream import streaming_spanner, streaming_spanner_reference
 from .stream import EdgeStream, StreamStats
 
-__all__ = ["EdgeStream", "StreamStats", "streaming_spanner"]
+__all__ = ["EdgeStream", "StreamStats", "streaming_spanner", "streaming_spanner_reference"]

@@ -67,19 +67,37 @@ class EdgeStream:
     def __len__(self) -> int:
         return self.g.m
 
-    def passes(self):
+    def passes_chunked(self, chunk_size: int | None = None):
         """Yield ``(u, v, w, eid)`` chunk arrays for one full pass.
+
+        This is the primary pass API: each yield hands the consumer a whole
+        chunk of edges as numpy arrays, so per-pass work is O(chunk) array
+        operations rather than O(m) Python iterations.  ``chunk_size``
+        overrides the stream's configured chunk for this pass only (the
+        stream order is unchanged — only the batching granularity moves).
 
         Callers iterate this once per pass; pass accounting happens via
         :meth:`end_pass` so the caller can report its working-set size.
         """
+        if chunk_size is None:
+            chunk_size = self.chunk
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
         g = self.g
-        for start in range(0, self._order.size, self.chunk):
-            idx = self._order[start : start + self.chunk]
+        for start in range(0, self._order.size, chunk_size):
+            idx = self._order[start : start + chunk_size]
             self.stats.edges_streamed += idx.size
             yield g.edges_u[idx], g.edges_v[idx], g.edges_w[idx], idx
         if self._order.size == 0:
             return
+
+    def passes(self, chunk_size: int | None = None):
+        """Compatibility alias for :meth:`passes_chunked`.
+
+        Kept so existing callers (and the pass-count accounting contract:
+        one :meth:`end_pass` per full iteration) are untouched.
+        """
+        yield from self.passes_chunked(chunk_size)
 
     def end_pass(self, working_records: int) -> None:
         """Close the books on one pass."""

@@ -1,0 +1,310 @@
+"""Seed-for-seed equivalence of the vectorized hot loops vs their frozen
+pre-vectorization references, plus the structured discard-record machinery.
+
+The PR that vectorized the streaming/unweighted/CC hot paths kept the old
+implementations verbatim (``streaming_spanner_reference``,
+``unweighted_spanner_reference``, ``grow_balls_mpc_reference``, the scalar
+``_capped_bfs``); these tests pin the contract that the fast paths emit
+**bit-identical** results on every fixed seed, and that the paper-bound
+certificates still hold through ``repro.verify.certify``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.unweighted import (
+    _capped_bfs,
+    unweighted_spanner,
+    unweighted_spanner_reference,
+)
+from repro.graphs import erdos_renyi, grid_graph, star_graph
+from repro.graphs.distances import batched_capped_bfs
+from repro.graphs.graph import sorted_pair_lookup
+from repro.mpc_impl import grow_balls_mpc, grow_balls_mpc_reference
+from repro.streaming import (
+    EdgeStream,
+    streaming_spanner,
+    streaming_spanner_reference,
+)
+from repro.streaming.spanner_stream import _DiscardRecord
+from repro.verify import certify
+
+from tests.strategies import random_graph, spanner_ks
+
+
+# ---------------------------------------------------------------------------
+# Streaming spanner
+# ---------------------------------------------------------------------------
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("k", [2, 3, 4, 8, 16])
+    def test_bit_identical_edge_sets(self, seed, k):
+        g = erdos_renyi(150, 0.12, weights="uniform", rng=seed)
+        a = streaming_spanner(g, k, rng=seed, order_seed=seed, chunk=64)
+        b = streaming_spanner_reference(g, k, rng=seed, order_seed=seed, chunk=64)
+        assert np.array_equal(a.edge_ids, b.edge_ids)
+        assert a.phase2_added == b.phase2_added
+
+    def test_stream_accounting_identical(self):
+        g = erdos_renyi(120, 0.15, weights="uniform", rng=7)
+        a = streaming_spanner(g, 8, rng=7)
+        b = streaming_spanner_reference(g, 8, rng=7)
+        # Pass counts, peak working set, per-pass working sets, edge volume.
+        assert a.extra["stream"] == b.extra["stream"]
+        assert [s.num_added for s in a.stats] == [s.num_added for s in b.stats]
+        assert [s.num_alive_edges for s in a.stats] == [
+            s.num_alive_edges for s in b.stats
+        ]
+
+    def test_grid_and_star(self):
+        for g in (grid_graph(15, 15), star_graph(80)):
+            for k in (2, 4, 8):
+                a = streaming_spanner(g, k, rng=3)
+                b = streaming_spanner_reference(g, k, rng=3)
+                assert np.array_equal(a.edge_ids, b.edge_ids)
+
+    @given(st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_property_bit_identical(self, data):
+        g = data.draw(random_graph(max_n=30, max_m=120))
+        k = data.draw(spanner_ks)
+        seed = data.draw(st.integers(0, 1000))
+        a = streaming_spanner(g, k, rng=seed, order_seed=seed)
+        b = streaming_spanner_reference(g, k, rng=seed, order_seed=seed)
+        assert np.array_equal(a.edge_ids, b.edge_ids)
+
+
+class TestPassesChunked:
+    def test_passes_is_thin_wrapper(self):
+        g = erdos_renyi(100, 0.2, weights="uniform", rng=1)
+        a = [eid.tolist() for *_, eid in EdgeStream(g, chunk=32).passes()]
+        b = [eid.tolist() for *_, eid in EdgeStream(g, chunk=32).passes_chunked()]
+        assert a == b
+
+    def test_chunk_size_override_changes_batching_not_order(self):
+        g = erdos_renyi(100, 0.2, weights="uniform", rng=1)
+        s = EdgeStream(g, chunk=32)
+        fine = np.concatenate([eid for *_, eid in s.passes_chunked(8)])
+        coarse = np.concatenate([eid for *_, eid in s.passes_chunked(10**6)])
+        assert np.array_equal(fine, coarse)
+        assert s.stats.edges_streamed == 2 * g.m
+
+    def test_rejects_bad_chunk_size(self):
+        g = erdos_renyi(20, 0.3, weights="uniform", rng=0)
+        with pytest.raises(ValueError):
+            list(EdgeStream(g).passes_chunked(0))
+
+
+class TestDiscardRecords:
+    """The structured cluster-pair discard mask (satellite: no more
+    ``c * n + b`` integer dead keys)."""
+
+    def test_probe_matches_membership(self):
+        rng = np.random.default_rng(0)
+        labels = np.arange(16, dtype=np.int64)
+        for _ in range(50):
+            d = int(rng.integers(0, 20))
+            da = rng.integers(0, 16, d)
+            db = rng.integers(0, 16, d)
+            order = np.lexsort((db, da))
+            rec = _DiscardRecord(labels, da[order], db[order])
+            qa = rng.integers(0, 16, 64)
+            qb = rng.integers(0, 16, 64)
+            pairs = set(zip(da.tolist(), db.tolist()))
+            expect = np.array(
+                [(int(a), int(b)) in pairs for a, b in zip(qa, qb)], dtype=bool
+            )
+            assert np.array_equal(rec.probe(qa, qb), expect)
+
+    def test_sorted_pair_lookup_matches_membership(self):
+        rng = np.random.default_rng(1)
+        for _ in range(60):
+            d = int(rng.integers(0, 25))
+            q = int(rng.integers(0, 40))
+            ha = rng.integers(0, 10, d)
+            hb = rng.integers(0, 10, d)
+            order = np.lexsort((hb, ha))
+            ha, hb = ha[order], hb[order]
+            qa = rng.integers(0, 12, q)
+            qb = rng.integers(0, 12, q)
+            pairs = set(zip(ha.tolist(), hb.tolist()))
+            expect = np.array(
+                [(int(a), int(b)) in pairs for a, b in zip(qa, qb)], dtype=bool
+            )
+            assert np.array_equal(sorted_pair_lookup(ha, hb, qa, qb), expect)
+
+    def test_later_passes_skip_discarded_groups(self):
+        # Regression (first fixed in PR 1, representation changed in this
+        # PR): an edge whose cluster-pair group was consumed by an earlier
+        # epoch must never be re-selected as a later pass's pair minimum.
+        # The reference implementation has the semantics pinned; equality
+        # with it on a multi-epoch run exercises exactly that suppression.
+        g = erdos_renyi(200, 0.1, weights="uniform", rng=11)
+        a = streaming_spanner(g, 16, rng=11)  # 4 epochs + final pass
+        b = streaming_spanner_reference(g, 16, rng=11)
+        assert len(a.stats) >= 2  # multi-epoch, so discard records were live
+        assert np.array_equal(a.edge_ids, b.edge_ids)
+
+
+# ---------------------------------------------------------------------------
+# Unweighted spanner + batched capped BFS
+# ---------------------------------------------------------------------------
+
+
+class TestUnweightedEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_bit_identical_edge_sets(self, seed, k):
+        g = erdos_renyi(90, 0.08, weights="unit", rng=seed)
+        a = unweighted_spanner(g, k, rng=seed)
+        b = unweighted_spanner_reference(g, k, rng=seed)
+        assert np.array_equal(a.edge_ids, b.edge_ids)
+        assert a.extra == b.extra  # sparse/dense split, hitters, fallbacks...
+
+    @pytest.mark.parametrize("ball_cap", [4, 8, 10**6])
+    def test_cap_regimes(self, ball_cap):
+        g = erdos_renyi(90, 0.1, weights="unit", rng=5)
+        a = unweighted_spanner(g, 3, rng=5, ball_cap=ball_cap)
+        b = unweighted_spanner_reference(g, 3, rng=5, ball_cap=ball_cap)
+        assert np.array_equal(a.edge_ids, b.edge_ids)
+
+    @pytest.mark.parametrize("gamma", [0.3, 0.5, 0.75, 1.0])
+    def test_gamma_regimes(self, gamma):
+        g = erdos_renyi(120, 0.1, weights="unit", rng=2)
+        a = unweighted_spanner(g, 3, gamma=gamma, rng=2)
+        b = unweighted_spanner_reference(g, 3, gamma=gamma, rng=2)
+        assert np.array_equal(a.edge_ids, b.edge_ids)
+
+    def test_star_and_grid(self):
+        for g in (star_graph(200), grid_graph(10, 10)):
+            a = unweighted_spanner(g, 2, rng=4, ball_cap=8)
+            b = unweighted_spanner_reference(g, 2, rng=4, ball_cap=8)
+            assert np.array_equal(a.edge_ids, b.edge_ids)
+
+    @given(st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_property_bit_identical(self, data):
+        g = data.draw(random_graph(max_n=30, max_m=100, weighted=False))
+        k = data.draw(st.integers(2, 5))
+        seed = data.draw(st.integers(0, 1000))
+        a = unweighted_spanner(g, k, rng=seed)
+        b = unweighted_spanner_reference(g, k, rng=seed)
+        assert np.array_equal(a.edge_ids, b.edge_ids)
+
+
+class TestBatchedCappedBFS:
+    def _check(self, g, hops, cap):
+        indptr, ball, pedge, ppos, complete = batched_capped_bfs(
+            g, np.arange(g.n), hops, cap
+        )
+        for v in range(g.n):
+            order, parent, comp = _capped_bfs(g, v, hops, cap)
+            assert ball[indptr[v] : indptr[v + 1]].tolist() == order
+            assert bool(complete[v]) == comp
+            pe = pedge[indptr[v] : indptr[v + 1]]
+            for i, x in enumerate(order):
+                assert parent[x] == pe[i]
+            # parent_pos points at the BFS parent's flat slot.
+            pp = ppos[indptr[v] : indptr[v + 1]]
+            for i, x in enumerate(order):
+                if i == 0:
+                    assert pp[0] == indptr[v]
+                else:
+                    eid = int(pe[i])
+                    a, b = int(g.edges_u[eid]), int(g.edges_v[eid])
+                    assert ball[pp[i]] == (a if b == x else b)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_er_scan_order_and_parents(self, seed):
+        g = erdos_renyi(70, 0.1, weights="unit", rng=seed)
+        self._check(g, 8, 10)
+        self._check(g, 3, 5)
+        self._check(g, 8, 10**6)
+
+    def test_degenerate_hops_and_caps(self):
+        g = erdos_renyi(40, 0.15, weights="unit", rng=2)
+        self._check(g, 0, 5)  # hops=0: ball is just the source
+        self._check(g, 1, 5)
+        self._check(star_graph(50), 4, 1)  # append-then-check takes one
+        self._check(star_graph(50), 4, 2)
+
+    def test_subset_of_sources(self):
+        g = grid_graph(8, 8)
+        srcs = np.array([0, 17, 63], dtype=np.int64)
+        indptr, ball, _, _, complete = batched_capped_bfs(g, srcs, 4, 12)
+        for i, v in enumerate(srcs):
+            order, _, comp = _capped_bfs(g, int(v), 4, 12)
+            assert ball[indptr[i] : indptr[i + 1]].tolist() == order
+            assert bool(complete[i]) == comp
+
+    def test_rejects_bad_args(self):
+        g = grid_graph(3, 3)
+        with pytest.raises(ValueError):
+            batched_capped_bfs(g, np.array([0]), -1, 4)
+        with pytest.raises(ValueError):
+            batched_capped_bfs(g, np.array([0]), 2, 0)
+        with pytest.raises(ValueError):
+            batched_capped_bfs(g, np.array([99]), 2, 4)
+
+
+# ---------------------------------------------------------------------------
+# MPC ball growing
+# ---------------------------------------------------------------------------
+
+
+class TestBallGrowingEquivalence:
+    @pytest.mark.parametrize("radius", [0, 1, 2, 4, 8])
+    @pytest.mark.parametrize("cap", [1, 4, 8, 10**6])
+    def test_er_balls_flags_and_accounting(self, radius, cap):
+        g = erdos_renyi(60, 0.1, weights="unit", rng=1)
+        a = grow_balls_mpc(g, radius, cap=cap)
+        b = grow_balls_mpc_reference(g, radius, cap=cap)
+        assert np.array_equal(a.complete, b.complete)
+        assert a.rounds == b.rounds
+        assert a.total_words == b.total_words
+        for v in range(g.n):
+            assert np.array_equal(a.balls[v], b.balls[v])
+
+    def test_star_center_prefix_capping(self):
+        # The capped ball is a prefix-union truncation, order-dependent on
+        # the merge sequence — the exact case the scalar early-break makes
+        # subtle.
+        g = star_graph(120)
+        a = grow_balls_mpc(g, 4, cap=8)
+        b = grow_balls_mpc_reference(g, 4, cap=8)
+        for v in range(g.n):
+            assert np.array_equal(a.balls[v], b.balls[v])
+
+
+# ---------------------------------------------------------------------------
+# Paper-bound certificates still hold through the vectorized paths
+# ---------------------------------------------------------------------------
+
+
+class TestCertifiedThroughVerify:
+    @given(st.data())
+    @settings(max_examples=6, deadline=None)
+    def test_streaming_certificates(self, data):
+        n = data.draw(st.integers(24, 60))
+        p = data.draw(st.sampled_from([0.1, 0.2]))
+        k = data.draw(st.integers(2, 6))
+        seed = data.draw(st.integers(0, 100))
+        cert = certify("streaming", f"er:{n}:{p}", k=k, seed=seed, slack=8.0)
+        assert cert.ok, cert.to_json()
+
+    @given(st.data())
+    @settings(max_examples=6, deadline=None)
+    def test_unweighted_certificates(self, data):
+        n = data.draw(st.integers(24, 60))
+        p = data.draw(st.sampled_from([0.1, 0.2]))
+        k = data.draw(st.integers(2, 5))
+        seed = data.draw(st.integers(0, 100))
+        cert = certify(
+            "unweighted", f"er:{n}:{p}", k=k, seed=seed, weights="unit", slack=8.0
+        )
+        assert cert.ok, cert.to_json()
