@@ -8,7 +8,7 @@ always one command away::
     python scripts/bench_snapshot.py                    # distance-layer suite
     python scripts/bench_snapshot.py --suite runner     # experiment-runner suite
     python scripts/bench_snapshot.py --suite suite      # cross-algorithm suite
-    python scripts/bench_snapshot.py --suite full       # all three + trajectory diff
+    python scripts/bench_snapshot.py --suite full       # all four + trajectory diff
     python scripts/bench_snapshot.py --smoke            # tiny-n sanity run
 
 Suites and their artifacts:
@@ -17,8 +17,11 @@ Suites and their artifacts:
 * ``runner``   -> ``BENCH_runner.json`` (sweep parallel speedup + resume)
 * ``suite``    -> ``BENCH_suite.json`` (all registered algorithms +
   hot-loop before/after harness; see ``repro bench``)
+* ``service``  -> ``BENCH_service.json`` (query-throughput workloads: the
+  LRU-vs-clear() thrash duel, batched q/s, sharded + persistence
+  bit-identity; see ``repro query`` and benchmarks/bench_service.py)
 
-``--suite full`` regenerates all three in one invocation and prints a
+``--suite full`` regenerates all four in one invocation and prints a
 compact trajectory diff against the previously committed snapshots.
 
 No PYTHONPATH fiddling needed — the script wires up ``src`` and
@@ -40,10 +43,13 @@ OUT_PATHS = {
     "distance": "BENCH_distance_layer.json",
     "runner": "BENCH_runner.json",
     "suite": "BENCH_suite.json",
+    "service": "BENCH_service.json",
 }
 
 
 def _write(record: dict, path: str) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
     with open(path, "w") as fh:
         json.dump(record, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -104,7 +110,32 @@ def _run_suite(args, out_path: str) -> tuple[int, dict]:
     return (0 if ok else 1), record
 
 
-SUITES = {"distance": _run_distance, "runner": _run_runner, "suite": _run_suite}
+def _run_service(args, out_path: str) -> tuple[int, dict]:
+    from bench_service import format_table, identity_gate, run_service_bench, thrash_gate
+
+    record = run_service_bench(smoke=args.smoke)
+    print(format_table(record))
+    _write(record, out_path)
+
+    rc = 0
+    ok, reason = thrash_gate(record)
+    print(f"thrash gate: {reason}", file=sys.stdout if ok else sys.stderr)
+    if not ok:
+        rc = 1
+    ok, reasons = identity_gate(record)
+    for reason in reasons:
+        print(f"identity gate: {reason}", file=sys.stdout if ok else sys.stderr)
+    if not ok:
+        rc = 1
+    return rc, record
+
+
+SUITES = {
+    "distance": _run_distance,
+    "runner": _run_runner,
+    "suite": _run_suite,
+    "service": _run_service,
+}
 
 
 def _fmt(value, unit: str = "") -> str:
@@ -128,6 +159,15 @@ def _trajectory_diff(name: str, old: dict | None, new: dict) -> list[str]:
         lines.append(
             f"  runner jobs-speedup: {_fmt(o, 'x')} -> {_fmt(n, 'x')}; "
             f"resume.executed: {_fmt(oe)} -> {_fmt(ne)}"
+        )
+    elif name == "service":
+        o = (old or {}).get("thrash", {}).get("speedup")
+        nt = new.get("thrash", {})
+        ob = (old or {}).get("batched", {}).get("zipf_qps")
+        nb = new.get("batched", {}).get("zipf_qps")
+        lines.append(
+            f"  service thrash speedup: {_fmt(o, 'x')} -> {_fmt(nt.get('speedup'), 'x')}; "
+            f"zipf qps: {_fmt(ob)} -> {_fmt(nb)}"
         )
     elif name == "suite":
         old_algos = (old or {}).get("algorithms", {})

@@ -28,7 +28,7 @@ import numpy as np
 
 from ..congest.clique import CongestedClique
 from ..core.engine import EdgeSet, run_growth_iterations
-from ..core.params import num_epochs, sampling_probability
+from ..core.params import coerce_rng, num_epochs, sampling_probability
 from ..core.results import IterationStats, RoundStats, SpannerResult
 from ..graphs.graph import WeightedGraph
 from ..graphs.quotient import quotient_edges
@@ -102,7 +102,7 @@ def spanner_cc(
     """
     if k < 1:
         raise ValueError("k must be >= 1")
-    rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    rng = coerce_rng(rng)
     if t is None:
         from ..core.general_tradeoff import default_t
 

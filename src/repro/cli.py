@@ -28,6 +28,15 @@ Commands
     the hot-loop before/after harness), write ``BENCH_suite.json``, and —
     given ``--baseline`` — fail on a >2x per-algorithm slowdown (with
     graceful timer-noise skips).
+``query``
+    Answer distance queries from a persisted artifact store
+    (:mod:`repro.service`): resolve the artifact for a build
+    configuration (``--build`` constructs + persists it when missing, so
+    ``build -> persist -> load -> query`` is one command), then run a
+    pair workload through the batched/cached/sharded query engine.
+``serve``
+    Same artifact resolution, then serve ``u v`` pairs line-by-line from
+    stdin to stdout — a process-pipe "server" that needs no network.
 
 Algorithms come from :mod:`repro.registry`; graphs are generated on the fly
 from ``--graph`` specs like ``er:512:0.06`` or loaded from disk with
@@ -264,12 +273,15 @@ def _cmd_sweep(args) -> int:
         print(f"[{done}/{total}] {record['algorithm']} {record['graph']} "
               f"seed={record['seed']}: {status}")
 
+    if args.persist and not args.out:
+        raise SystemExit("sweep: --persist requires --out")
     result = run_plan(
         plan,
         jobs=args.jobs,
         out_dir=args.out,
         resume=not args.no_resume,
         progress=None if args.json else progress,
+        persist=args.persist,
     )
     errors = sum(1 for r in result.records if "error" in r)
     if args.json:
@@ -389,6 +401,199 @@ def _cmd_verify(args) -> int:
     return 0 if result.ok else 1
 
 
+def _service_config(args) -> dict:
+    """The canonical build configuration a service artifact is keyed by."""
+    from .graphs.specs import GraphSpec, GraphSpecError
+    from .registry import resolve_name
+
+    try:
+        graph = GraphSpec.parse(args.graph).format()
+    except GraphSpecError as exc:
+        raise SystemExit(f"bad graph spec: {exc}") from exc
+    try:
+        algorithm = resolve_name(args.algorithm)
+    except KeyError as exc:
+        raise SystemExit(f"unknown algorithm {args.algorithm!r}") from exc
+    # Unweighted-only algorithms always build with unit weights; normalize
+    # before hashing so the weight model cannot split identical artifacts
+    # into distinct keys (mirrors the runner's trial normalization).
+    weights = args.weights if get_algorithm(algorithm).weighted else "unit"
+    return {
+        "algorithm": algorithm,
+        "graph": graph,
+        "k": args.k,
+        "t": args.t,
+        "seed": args.seed,
+        "weights": weights,
+        "kind": args.kind,
+    }
+
+
+def _build_service_artifact(store, key: str, config: dict) -> None:
+    """Build the configured structure and persist it under ``key``."""
+    algo = get_algorithm(config["algorithm"])
+    if algo.kind != "spanner":
+        raise SystemExit(
+            f"--build needs a spanner algorithm, got {config['algorithm']!r} "
+            f"({algo.kind}); APSP pipelines persist via `repro sweep --persist`"
+        )
+    g = build_graph(config["graph"], weights=config["weights"], seed=config["seed"])
+    res = algo.run(g, k=config["k"], t=config["t"], rng=config["seed"])
+    meta = {**config, "graph_n": g.n, "graph_m": g.m}
+    if config["kind"] == "sketch":
+        from .distances.sketches import sketch_on_spanner
+
+        sk, accounting = sketch_on_spanner(g, res, config["k"], rng=config["seed"])
+        meta.update(accounting)
+        store.save_sketch(sk, key=key, meta=meta)
+    else:
+        store.save_spanner(
+            res.subgraph(g),
+            k=res.k,
+            t=res.t,
+            t_effective=res.extra.get("t_effective", res.t),
+            key=key,
+            meta=meta,
+        )
+
+
+def _resolve_engine(args):
+    """Resolve (and optionally build) the artifact; return (key, built, engine)."""
+    from .service import ArtifactStore, QueryEngine, config_key
+
+    store = ArtifactStore(args.store)
+    built = False
+    if args.key:
+        key = args.key
+        if key not in store:
+            known = ", ".join(store.keys()) or "<empty>"
+            raise SystemExit(f"no artifact {key!r} in {args.store} (have: {known})")
+    else:
+        key = config_key(_service_config(args))
+        if key not in store:
+            if not args.build:
+                raise SystemExit(
+                    f"no artifact {key!r} for this configuration in {args.store}; "
+                    "pass --build to construct and persist it"
+                )
+            _build_service_artifact(store, key, _service_config(args))
+            built = True
+    engine = QueryEngine.from_store(
+        store, key, cache_rows=args.cache_rows, shards=args.shards
+    )
+    return key, built, engine
+
+
+def _workload_pairs(args, n: int):
+    """The query workload: explicit ``--pairs`` or a generated mix."""
+    import numpy as np
+
+    if args.pairs:
+        try:
+            flat = [
+                (int(a), int(b))
+                for a, b in (tok.split(":") for tok in args.pairs.split(",") if tok)
+            ]
+        except ValueError as exc:
+            raise SystemExit(f"bad --pairs (expected 'u:v,u:v,...'): {exc}") from exc
+        return np.asarray(flat, dtype=np.int64).reshape(-1, 2)
+    from .core.params import coerce_rng
+
+    rng = coerce_rng(args.pair_seed)
+    r = args.num_pairs
+    if args.zipf and args.zipf <= 1.0:
+        raise SystemExit(f"--zipf must be > 1 (got {args.zipf}); use 0 for uniform")
+    if args.zipf:
+        # Zipf-ranked sources over a fixed permutation of the vertex ids —
+        # the skewed "hot sources" traffic the row cache is for.
+        perm = rng.permutation(n)
+        sources = perm[(rng.zipf(args.zipf, size=r) - 1) % n]
+    else:
+        sources = rng.integers(0, n, size=r)
+    targets = rng.integers(0, n, size=r)
+    return np.stack([sources, targets], axis=1)
+
+
+def _cmd_query(args) -> int:
+    import numpy as np
+
+    key, built, engine = _resolve_engine(args)
+    with engine:
+        pairs = _workload_pairs(args, engine.n)
+        if pairs.size and (pairs.min() < 0 or pairs.max() >= engine.n):
+            raise SystemExit(f"pair vertex out of range for n={engine.n}")
+        answers = np.concatenate(
+            [
+                engine.query_many(pairs[lo : lo + args.batch])
+                for lo in range(0, pairs.shape[0], args.batch)
+            ]
+        ) if pairs.size else np.zeros(0)
+        stats = engine.stats()
+
+    finite = np.isfinite(answers)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "store": args.store,
+                    "key": key,
+                    "built": built,
+                    "num_pairs": int(pairs.shape[0]),
+                    "finite": int(finite.sum()),
+                    "mean_distance": (
+                        float(answers[finite].mean()) if finite.any() else None
+                    ),
+                    # Disconnected pairs are null, not the spec-invalid
+                    # bare `Infinity` json.dumps would emit for float inf.
+                    "answers": [
+                        a if np.isfinite(a) else None for a in answers.tolist()
+                    ],
+                    "stats": stats,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    status = "built + persisted" if built else "loaded"
+    print(f"artifact {key} ({status}) from {args.store}")
+    for (u, v), d in zip(pairs.tolist(), answers.tolist()):
+        print(f"{u} {v} {d}")
+    cache = stats["cache"]
+    print(
+        f"served {stats['queries_served']} queries in {stats['batches']} batches: "
+        f"{stats['rows_solved']} rows solved, cache hit rate {cache['hit_rate']:.2%}"
+    )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    key, built, engine = _resolve_engine(args)
+    status = "built + persisted" if built else "loaded"
+    print(
+        f"serving artifact {key} ({status}); one 'u v' pair per line on stdin",
+        file=sys.stderr,
+    )
+    rc = 0
+    with engine:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            try:
+                if len(parts) != 2:
+                    raise ValueError(f"expected 'u v', got {line!r}")
+                d = engine.query(int(parts[0]), int(parts[1]))
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                rc = 1
+                continue
+            print(d, flush=True)
+        print(json.dumps(engine.stats(), sort_keys=True), file=sys.stderr)
+    return rc
+
+
 def _cmd_bench(args) -> int:
     from .bench import format_table, hot_loop_gates, run_suite, slowdown_gate
 
@@ -489,6 +694,12 @@ def make_parser() -> argparse.ArgumentParser:
     sp.add_argument(
         "--no-resume", action="store_true", help="re-run trials even if artifacts exist"
     )
+    sp.add_argument(
+        "--persist",
+        action="store_true",
+        help="save every trial's built spanner under OUT/store as a serving "
+        "artifact keyed by the trial id (see `repro query --store OUT/store`)",
+    )
     sp.add_argument("--dry-run", action="store_true", help="list trials, run nothing")
     sp.add_argument("--json", action="store_true", help="summary as JSON")
     sp.set_defaults(fn=_cmd_sweep)
@@ -508,6 +719,79 @@ def make_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument("--json", action="store_true", help="machine-readable output")
     sp.set_defaults(fn=_cmd_bench)
+
+    def service_common(sp):
+        sp.add_argument("--store", required=True, help="artifact store directory")
+        sp.add_argument(
+            "--key",
+            default=None,
+            help="explicit artifact key (e.g. a sweep trial id); skips the "
+            "configuration-hash resolution",
+        )
+        sp.add_argument("--graph", default="er:512:0.06", help="family:args spec")
+        sp.add_argument(
+            "--algorithm",
+            default="general",
+            metavar="ALGO",
+            help="spanner algorithm used when building (see `repro list`)",
+        )
+        sp.add_argument("-k", type=int, default=8)
+        sp.add_argument("-t", type=int, default=2)
+        sp.add_argument("--seed", type=int, default=0)
+        sp.add_argument("--weights", default="uniform", help="weight model")
+        sp.add_argument(
+            "--kind",
+            choices=["oracle", "sketch"],
+            default="oracle",
+            help="artifact kind: spanner oracle rows or a Thorup-Zwick sketch",
+        )
+        sp.add_argument(
+            "--build",
+            action="store_true",
+            help="build + persist the artifact when the store lacks it",
+        )
+        sp.add_argument(
+            "--cache-rows",
+            type=int,
+            default=4096,
+            help="LRU bound on cached per-source distance rows",
+        )
+        sp.add_argument(
+            "--shards",
+            type=int,
+            default=0,
+            help=">=2 partitions row solves across that many worker processes",
+        )
+
+    sp = sub.add_parser(
+        "query", help="answer distance queries from a persisted artifact store"
+    )
+    service_common(sp)
+    sp.add_argument(
+        "--pairs", default=None, help="explicit workload: 'u:v,u:v,...'"
+    )
+    sp.add_argument(
+        "--num-pairs", type=int, default=16, help="generated workload size"
+    )
+    sp.add_argument("--pair-seed", type=int, default=0, help="workload rng seed")
+    sp.add_argument(
+        "--zipf",
+        type=float,
+        default=0.0,
+        help="draw sources zipf(a)-ranked over a vertex permutation "
+        "(hot-source traffic); 0 = uniform",
+    )
+    sp.add_argument(
+        "--batch", type=int, default=1024, help="queries dispatched per engine batch"
+    )
+    sp.add_argument("--json", action="store_true", help="machine-readable output")
+    sp.set_defaults(fn=_cmd_query)
+
+    sp = sub.add_parser(
+        "serve", help="serve 'u v' distance queries from stdin to stdout"
+    )
+    service_common(sp)
+    sp.set_defaults(fn=_cmd_serve)
 
     sp = sub.add_parser(
         "verify", help="certify algorithms against their declared paper bounds"

@@ -28,6 +28,7 @@ from .params import (
     bs_size_bound,
     bs_stretch_bound,
     cluster_count_bound,
+    coerce_rng,
     mpc_rounds_bound,
     num_epochs,
     sampling_probability,
@@ -65,6 +66,7 @@ __all__ = [
     "bs_size_bound",
     "bs_stretch_bound",
     "cluster_count_bound",
+    "coerce_rng",
     "mpc_rounds_bound",
     "num_epochs",
     "sampling_probability",

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..graphs.graph import WeightedGraph
 from .engine import EdgeSet, phase2_edges, run_growth_iterations
+from .params import coerce_rng
 from .results import SpannerResult
 
 __all__ = ["baswana_sen"]
@@ -52,7 +53,7 @@ def baswana_sen(g: WeightedGraph, k: int, *, rng=None) -> SpannerResult:
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    rng = coerce_rng(rng)
 
     if k == 1 or g.m == 0:
         # A 1-spanner must preserve all distances exactly: keep every edge

@@ -1,0 +1,144 @@
+"""Bounded LRU cache for distance rows (and other per-key payloads).
+
+The seed oracle kept its per-source distance rows in a plain dict and, on
+reaching the bound, evicted by wholesale ``clear()`` — so steady-state
+query traffic with more than ``capacity`` distinct sources periodically
+dropped *every* hot row and thrashed back to full Dijkstra runs
+(``query_many`` additionally stopped caching altogether once full).  This
+module is the shared fix: one recency-ordered bounded cache used by the
+:class:`~repro.distances.oracle.SpannerDistanceOracle` and the
+:class:`~repro.service.engine.QueryEngine`, with hit/miss/eviction
+counters so serving layers can report cache effectiveness.
+
+``dict`` preserves insertion order and ``move_to_end``-style reordering is
+done by delete+reinsert, so no ``OrderedDict`` import is needed; all
+operations are O(1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LRURowCache", "answer_pairs_cached"]
+
+
+class LRURowCache:
+    """A bounded mapping with least-recently-*used* eviction.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries held.  Must be >= 1; inserting beyond it
+        evicts the least recently used entry (both :meth:`get` hits and
+        :meth:`put` refreshes count as uses).
+
+    Examples
+    --------
+    >>> c = LRURowCache(2)
+    >>> c.put("a", 1); c.put("b", 2)
+    >>> c.get("a")          # "a" becomes most-recent
+    1
+    >>> c.put("c", 3)       # evicts "b", the least recently used
+    >>> c.get("b") is None
+    True
+    >>> sorted(c.keys())
+    ['a', 'c']
+    """
+
+    __slots__ = ("capacity", "_data", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._data: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        """Membership test — does *not* refresh recency (use :meth:`get`)."""
+        return key in self._data
+
+    def get(self, key, default=None):
+        """Return the cached value (refreshing its recency) or ``default``."""
+        try:
+            value = self._data.pop(key)
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data[key] = value  # reinsert at the most-recent end
+        self.hits += 1
+        return value
+
+    def peek(self, key, default=None):
+        """Return the cached value *without* touching recency or counters."""
+        return self._data.get(key, default)
+
+    def put(self, key, value) -> None:
+        """Insert/refresh ``key``; evict the LRU entry past capacity."""
+        self._data.pop(key, None)
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            oldest = next(iter(self._data))
+            del self._data[oldest]
+            self.evictions += 1
+
+    def keys(self):
+        """Keys from least to most recently used."""
+        return list(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def stats(self) -> dict:
+        """Counters for serving-layer reporting (JSON-ready)."""
+        total = self.hits + self.misses
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._data),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hits / total, 4) if total else 0.0,
+        }
+
+
+def answer_pairs_cached(cache: LRURowCache, pairs: np.ndarray, solve_rows) -> np.ndarray:
+    """Batched pair answering over a per-source row cache.
+
+    The shared ``query_many`` planning of the oracle and the serving
+    engine: group the ``(r, 2)`` pairs by source, gather rows already
+    cached, hand the distinct *missing* sources to ``solve_rows(sources)
+    -> (len(sources), n)`` in one call, and gather per group.  Two
+    invariants live here exactly once: local references are held for every
+    row the call touches (LRU eviction triggered by the fresh rows must
+    not drop one mid-call), and cached rows are *copies*, never views
+    into the solver's dense batch buffer (a view would pin the whole
+    block for as long as the row survives in the cache).
+    """
+    sources, inv = np.unique(pairs[:, 0], return_inverse=True)
+    row_map = {}
+    missing = []
+    for s in sources.tolist():
+        row = cache.get(s)
+        if row is None:
+            missing.append(s)
+        else:
+            row_map[s] = row
+    if missing:
+        rows = solve_rows(np.asarray(missing, dtype=np.int64))
+        for j, s in enumerate(missing):
+            row = rows[j].copy()
+            row_map[s] = row
+            cache.put(s, row)
+    out = np.empty(pairs.shape[0])
+    order = np.argsort(inv, kind="stable")
+    bounds = np.searchsorted(inv[order], np.arange(sources.size + 1))
+    for j, s in enumerate(sources.tolist()):
+        idx = order[bounds[j] : bounds[j + 1]]
+        out[idx] = row_map[s][pairs[idx, 1]]
+    return out

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..graphs.graph import WeightedGraph
 from .engine import EdgeSet, phase2_edges
+from .params import coerce_rng
 from .results import IterationStats, SpannerResult
 
 __all__ = ["cluster_merging"]
@@ -58,7 +59,7 @@ def cluster_merging(
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    rng = coerce_rng(rng)
 
     if k == 1 or g.m == 0:
         return SpannerResult(

@@ -28,6 +28,7 @@ from ..graphs.graph import WeightedGraph
 from ..graphs.quotient import quotient_edges
 from .baswana_sen import baswana_sen
 from .engine import EdgeSet, run_growth_iterations
+from .params import coerce_rng
 from .results import SpannerResult
 
 __all__ = ["two_phase_contraction"]
@@ -56,7 +57,7 @@ def two_phase_contraction(g: WeightedGraph, k: int, *, rng=None) -> SpannerResul
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    rng = coerce_rng(rng)
 
     if k == 1 or g.m == 0:
         return SpannerResult(

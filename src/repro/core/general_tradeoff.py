@@ -31,7 +31,7 @@ import numpy as np
 from ..graphs.graph import WeightedGraph
 from ..graphs.quotient import quotient_edges
 from .engine import EdgeSet, run_growth_iterations
-from .params import num_epochs, sampling_probability
+from .params import coerce_rng, num_epochs, sampling_probability
 from .results import SpannerResult
 
 __all__ = ["general_tradeoff", "default_t"]
@@ -82,7 +82,7 @@ def general_tradeoff(
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    rng = coerce_rng(rng)
     if t is None:
         t = default_t(k)
     if t < 1:

@@ -20,7 +20,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = [
+    "coerce_rng",
     "stretch_exponent",
     "num_epochs",
     "total_iterations",
@@ -35,6 +38,21 @@ __all__ = [
     "mpc_rounds_bound",
     "apsp_parameters",
 ]
+
+
+def coerce_rng(rng) -> np.random.Generator:
+    """Normalize a seed-or-generator argument into a ``Generator``.
+
+    Every randomized algorithm in the repo accepts ``rng=None`` (fresh
+    entropy), an integer seed, a ``SeedSequence``, or an existing
+    ``Generator`` (passed through untouched, so callers can thread one
+    generator across several constructions).  This helper is the single
+    definition of that contract — use it instead of re-spelling the
+    ``default_rng(...) if not isinstance(...)`` idiom per algorithm.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
 
 
 def stretch_exponent(t: int) -> float:

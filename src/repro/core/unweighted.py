@@ -44,6 +44,7 @@ import numpy as np
 from ..graphs.distances import batched_capped_bfs
 from ..graphs.graph import WeightedGraph
 from .baswana_sen import baswana_sen
+from .params import coerce_rng
 from .results import SpannerResult
 
 __all__ = ["unweighted_spanner", "unweighted_spanner_reference"]
@@ -130,7 +131,7 @@ def unweighted_spanner(
         ``O(m + n^{1+γ})`` (ball replication).
     """
     _validate_args(g, k, gamma)
-    rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    rng = coerce_rng(rng)
 
     if k == 1 or g.m == 0:
         return SpannerResult(
@@ -305,7 +306,7 @@ def unweighted_spanner_reference(
     (``account_mpc`` is omitted: it only adds instrumentation.)
     """
     _validate_args(g, k, gamma)
-    rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    rng = coerce_rng(rng)
 
     if k == 1 or g.m == 0:
         return SpannerResult(

@@ -14,8 +14,9 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.sparse import csgraph
 
+from ..core.cache import LRURowCache, answer_pairs_cached
 from ..core.general_tradeoff import general_tradeoff
-from ..core.params import apsp_parameters, stretch_bound
+from ..core.params import apsp_parameters, coerce_rng, stretch_bound
 from ..core.results import SpannerResult
 from ..graphs.distances import batched_sssp, pairwise_distances
 from ..graphs.graph import WeightedGraph
@@ -49,6 +50,11 @@ class SpannerDistanceOracle:
         ``k = log2 n``, ``t = log2 log2 n`` (Section 7).
     rng:
         Seed or generator for the spanner construction.
+    cache_rows:
+        Bound on the per-source distance-row cache.  Rows are evicted
+        least-recently-used (see :class:`~repro.core.cache.LRURowCache`),
+        so hot sources survive arbitrarily many distinct cold sources —
+        the seed's wholesale ``clear()`` eviction is gone.
 
     Examples
     --------
@@ -60,6 +66,9 @@ class SpannerDistanceOracle:
     True
     """
 
+    #: Default bound on cached per-source distance rows.
+    DEFAULT_CACHE_ROWS = 4096
+
     def __init__(
         self,
         g: WeightedGraph,
@@ -67,6 +76,7 @@ class SpannerDistanceOracle:
         t: int | None = None,
         *,
         rng=None,
+        cache_rows: int = DEFAULT_CACHE_ROWS,
     ) -> None:
         if k is None or t is None:
             dk, dt = apsp_parameters(g.n)
@@ -75,34 +85,74 @@ class SpannerDistanceOracle:
         self.g = g
         self.k = k
         self.t = t
-        self.result: SpannerResult = general_tradeoff(g, k, t, rng=rng)
+        self.result: SpannerResult | None = general_tradeoff(g, k, t, rng=rng)
+        self.t_effective: int = self.result.extra.get("t_effective", t)
         self.spanner: WeightedGraph = self.result.subgraph(g)
         self._matrix = self.spanner.to_scipy() if self.spanner.m else None
-        self._cache: dict[int, np.ndarray] = {}
+        self._cache = LRURowCache(cache_rows)
+
+    @classmethod
+    def from_spanner(
+        cls,
+        spanner: WeightedGraph,
+        k: int,
+        t: int | None,
+        *,
+        t_effective: int | None = None,
+        g: WeightedGraph | None = None,
+        cache_rows: int = DEFAULT_CACHE_ROWS,
+    ) -> "SpannerDistanceOracle":
+        """Rebuild an oracle around an *already constructed* spanner.
+
+        This is the persistence path: the expensive ``general_tradeoff``
+        construction ran once (possibly in another process, see
+        :mod:`repro.service.store`), and the saved spanner graph is all a
+        serving replica needs — queries are answered on the spanner, so a
+        reloaded oracle is bit-identical to the freshly built one.  The
+        ``result`` instrumentation is ``None`` on reloaded oracles.
+        """
+        self = cls.__new__(cls)
+        self.g = g if g is not None else spanner
+        self.k = k
+        self.t = t
+        self.result = None
+        self.t_effective = t_effective if t_effective is not None else t
+        self.spanner = spanner
+        self._matrix = spanner.to_scipy() if spanner.m else None
+        self._cache = LRURowCache(cache_rows)
+        return self
 
     @property
     def guaranteed_stretch(self) -> float:
         """The paper's stretch bound ``2 k^s`` for this (k, t)."""
-        return stretch_bound(self.k, self.result.extra.get("t_effective", self.t))
+        return stretch_bound(self.k, self.t_effective)
+
+    @property
+    def cache_stats(self) -> dict:
+        """Row-cache effectiveness counters (hits/misses/evictions)."""
+        return self._cache.stats()
+
+    def _solve_row(self, source: int) -> np.ndarray:
+        if self._matrix is None:
+            d = np.full(self.g.n, np.inf)
+            d[source] = 0.0
+            return d
+        return csgraph.dijkstra(self._matrix, directed=False, indices=source)
 
     def distances_from(self, source: int) -> np.ndarray:
         """Approximate distances from ``source`` to all vertices."""
         if not 0 <= source < self.g.n:
             raise ValueError(f"source {source} out of range")
-        if source not in self._cache:
-            if self._matrix is None:
-                d = np.full(self.g.n, np.inf)
-                d[source] = 0.0
-            else:
-                d = csgraph.dijkstra(self._matrix, directed=False, indices=source)
-            # Keep the cache bounded: hold at most 4096 source rows.
-            if len(self._cache) >= 4096:
-                self._cache.clear()
-            self._cache[source] = d
-        return self._cache[source]
+        row = self._cache.get(source)
+        if row is None:
+            row = self._solve_row(source)
+            self._cache.put(source, row)
+        return row
 
     def query(self, u: int, v: int) -> float:
         """Approximate distance between ``u`` and ``v``."""
+        if not 0 <= v < self.g.n:
+            raise ValueError(f"vertex {v} out of range")
         return float(self.distances_from(u)[v])
 
     def query_many(self, pairs) -> np.ndarray:
@@ -117,27 +167,12 @@ class SpannerDistanceOracle:
             return np.zeros(0)
         if pairs.min() < 0 or pairs.max() >= self.g.n:
             raise ValueError("vertex out of range")
-        sources, inv = np.unique(pairs[:, 0], return_inverse=True)
-        # Grab the rows this call needs *before* any cache eviction, so a
-        # bound-triggered clear cannot drop a source we are about to read.
-        row_map = {s: self._cache[s] for s in sources.tolist() if s in self._cache}
-        missing = [s for s in sources.tolist() if s not in row_map]
-        if missing:
-            rows = batched_sssp(self.spanner, np.asarray(missing, dtype=np.int64))
-            if len(self._cache) + len(missing) > 4096:
-                self._cache.clear()
-            for j, s in enumerate(missing):
-                row_map[s] = rows[j]
-                if len(self._cache) < 4096:  # keep the cache bound honest
-                    self._cache[s] = rows[j]
-        # Group pairs by source once (O(r log r)), then gather per group.
-        out = np.empty(pairs.shape[0])
-        order = np.argsort(inv, kind="stable")
-        bounds = np.searchsorted(inv[order], np.arange(sources.size + 1))
-        for j, s in enumerate(sources.tolist()):
-            idx = order[bounds[j] : bounds[j + 1]]
-            out[idx] = row_map[s][pairs[idx, 1]]
-        return out
+        # The grouped planning (one batched solve over the distinct missing
+        # sources, every row cached under the LRU bound) is shared with the
+        # serving engine — it lives next to the cache itself.
+        return answer_pairs_cached(
+            self._cache, pairs, lambda missing: batched_sssp(self.spanner, missing)
+        )
 
     def all_pairs(self) -> np.ndarray:
         """Full approximate APSP matrix (``O(n^2)`` memory)."""
@@ -155,7 +190,7 @@ def measure_approximation(
     rng=None,
 ) -> ApproximationReport:
     """Compare oracle answers with exact distances on random connected pairs."""
-    rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    rng = coerce_rng(rng)
     n = oracle.g.n
     if n < 2:
         return ApproximationReport(1.0, 1.0, 0, oracle.guaranteed_stretch)

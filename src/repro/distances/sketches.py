@@ -43,6 +43,7 @@ import math
 import numpy as np
 from scipy.sparse import csgraph
 
+from ..core.params import coerce_rng
 from ..core.results import SpannerResult
 from ..graphs.distances import _gather_neighbors, iter_sssp_chunks
 from ..graphs.graph import WeightedGraph, sorted_lookup
@@ -254,7 +255,7 @@ class DistanceSketch:
     def __init__(self, g: WeightedGraph, k: int, *, rng=None) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+        rng = coerce_rng(rng)
         self.g = g
         self.k = k
         n = g.n
@@ -301,6 +302,49 @@ class DistanceSketch:
         self._bunch_dicts: list[dict[int, float]] | None = None
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        g: WeightedGraph,
+        k: int,
+        levels: list[np.ndarray],
+        pivot: np.ndarray,
+        pivot_dist: np.ndarray,
+        bunch_indptr: np.ndarray,
+        bunch_centers: np.ndarray,
+        bunch_dists: np.ndarray,
+    ) -> "DistanceSketch":
+        """Rebuild a sketch from persisted state without recomputation.
+
+        This is the persistence path (:mod:`repro.service.store`): the
+        hierarchy sampling, pivot Dijkstras and bunch construction ran
+        once, and the saved arrays are everything the query walk touches —
+        a reloaded sketch answers :meth:`query`/:meth:`query_many`
+        bit-identically to the freshly built one.
+        """
+        if pivot.shape != (k + 1, g.n) or pivot_dist.shape != (k + 1, g.n):
+            raise ValueError("pivot arrays must have shape (k + 1, n)")
+        if bunch_indptr.shape != (g.n + 1,):
+            raise ValueError("bunch_indptr must have shape (n + 1,)")
+        if bunch_centers.shape != bunch_dists.shape:
+            raise ValueError("bunch_centers and bunch_dists must be parallel")
+        self = cls.__new__(cls)
+        self.g = g
+        self.k = int(k)
+        self.levels = [np.asarray(lv, dtype=np.int64) for lv in levels]
+        self.pivot = np.asarray(pivot, dtype=np.int64)
+        self.pivot_dist = np.asarray(pivot_dist, dtype=np.float64)
+        self.bunch_indptr = np.asarray(bunch_indptr, dtype=np.int64)
+        self.bunch_centers = np.asarray(bunch_centers, dtype=np.int64)
+        self.bunch_dists = np.asarray(bunch_dists, dtype=np.float64)
+        self._bunch_keys = (
+            self.bunch_centers
+            + np.repeat(np.arange(g.n, dtype=np.int64), np.diff(self.bunch_indptr))
+            * np.int64(g.n)
+        )
+        self._bunch_dicts = None
+        return self
+
     @property
     def bunch(self) -> list[dict[int, float]]:
         """Dict-shaped compatibility view of the CSR bunch arrays.

@@ -49,9 +49,11 @@ WeightModel = Literal["unit", "uniform", "exponential", "powerlaw", "integer"]
 
 
 def _rng(seed) -> np.random.Generator:
-    if isinstance(seed, np.random.Generator):
-        return seed
-    return np.random.default_rng(seed)
+    # Late import: generators sit below core in the import layering, so
+    # the shared seed normalization is pulled in at call time.
+    from ..core.params import coerce_rng
+
+    return coerce_rng(seed)
 
 
 def draw_weights(

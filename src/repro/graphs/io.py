@@ -1,22 +1,42 @@
-"""Graph persistence: a plain weighted edge-list format.
+"""Graph persistence: a plain weighted edge-list format plus a binary form.
 
 One line per edge: ``u v w`` (whitespace separated), with an optional
 header comment carrying the vertex count (``# n=<count>``) so isolated
 vertices survive a round trip.  The format is deliberately the least
 surprising thing possible — it loads into numpy with one call and is
 compatible with the edge lists most graph repositories ship.
+
+Malformed input is rejected *here*, with ``path:line:`` prefixed errors,
+rather than crashing (or silently mis-loading) deeper in
+:class:`~repro.graphs.graph.WeightedGraph` construction: negative or
+non-finite weights, endpoints outside the declared ``# n=`` header, and
+unparseable headers all name the offending line.
+
+For the artifact layer (:mod:`repro.service.store`) there is also a binary
+round trip — :func:`write_graph_npz` / :func:`read_graph_npz` — that
+preserves the edge arrays bit-exactly (float64 weights survive without a
+repr/parse cycle) and loads without per-line Python work.
 """
 
 from __future__ import annotations
 
-import io
+import re
 from pathlib import Path
 
 import numpy as np
 
 from .graph import WeightedGraph
 
-__all__ = ["write_edgelist", "read_edgelist"]
+__all__ = [
+    "write_edgelist",
+    "read_edgelist",
+    "write_graph_npz",
+    "read_graph_npz",
+    "GRAPH_NPZ_VERSION",
+]
+
+#: Schema version embedded in every ``.npz`` graph payload.
+GRAPH_NPZ_VERSION = 1
 
 
 def write_edgelist(g: WeightedGraph, path) -> None:
@@ -28,6 +48,28 @@ def write_edgelist(g: WeightedGraph, path) -> None:
             fh.write(f"{u} {v} {w!r}\n")
 
 
+def _parse_header(path: Path, lineno: int, line: str) -> int | None:
+    """Parse a ``# n=<count>`` header comment; ``None`` for other comments.
+
+    Accepts whitespace around the ``=`` (``# n = 12``); anything that
+    *looks* like an ``n=`` header but does not carry a valid non-negative
+    integer raises with the line number, instead of being skipped as a
+    generic comment and silently shrinking the vertex set.
+    """
+    body = line[1:].strip()
+    if re.match(r"n\s*=", body) is None:
+        return None
+    _, _, value = body.partition("=")
+    value = value.strip()
+    try:
+        n = int(value)
+    except ValueError as exc:
+        raise ValueError(f"{path}:{lineno}: bad header {line!r}") from exc
+    if n < 0:
+        raise ValueError(f"{path}:{lineno}: header vertex count must be >= 0, got {n}")
+    return n
+
+
 def read_edgelist(path) -> WeightedGraph:
     """Read a graph written by :func:`write_edgelist` (or any ``u v [w]``
     edge list; missing weights default to 1, missing header to
@@ -36,7 +78,11 @@ def read_edgelist(path) -> WeightedGraph:
     Raises
     ------
     ValueError
-        On malformed lines (wrong column count, non-numeric fields).
+        With a ``path:line:`` prefix, on malformed lines: wrong column
+        count, non-numeric fields, negative endpoints, endpoints at or
+        above the declared ``# n=`` header, self loops, and weights that
+        are NaN, infinite, or not strictly positive (the graph layer
+        requires positive finite weights).
     """
     path = Path(path)
     n_header: int | None = None
@@ -49,12 +95,9 @@ def read_edgelist(path) -> WeightedGraph:
             if not line:
                 continue
             if line.startswith("#"):
-                body = line[1:].strip()
-                if body.startswith("n="):
-                    try:
-                        n_header = int(body[2:])
-                    except ValueError as exc:
-                        raise ValueError(f"{path}:{lineno}: bad header {line!r}") from exc
+                parsed = _parse_header(path, lineno, line)
+                if parsed is not None:
+                    n_header = parsed
                 continue
             parts = line.split()
             if len(parts) not in (2, 3):
@@ -62,11 +105,28 @@ def read_edgelist(path) -> WeightedGraph:
                     f"{path}:{lineno}: expected 'u v [w]', got {line!r}"
                 )
             try:
-                us.append(int(parts[0]))
-                vs.append(int(parts[1]))
-                ws.append(float(parts[2]) if len(parts) == 3 else 1.0)
+                u = int(parts[0])
+                v = int(parts[1])
+                w = float(parts[2]) if len(parts) == 3 else 1.0
             except ValueError as exc:
                 raise ValueError(f"{path}:{lineno}: non-numeric field in {line!r}") from exc
+            if u < 0 or v < 0:
+                raise ValueError(f"{path}:{lineno}: negative endpoint in {line!r}")
+            if n_header is not None and (u >= n_header or v >= n_header):
+                raise ValueError(
+                    f"{path}:{lineno}: endpoint out of range for header "
+                    f"n={n_header} in {line!r}"
+                )
+            if u == v:
+                raise ValueError(f"{path}:{lineno}: self loop in {line!r}")
+            if not np.isfinite(w) or w <= 0:
+                raise ValueError(
+                    f"{path}:{lineno}: weight must be positive and finite, "
+                    f"got {w!r} in {line!r}"
+                )
+            us.append(u)
+            vs.append(v)
+            ws.append(w)
     if n_header is None:
         n_header = (max(max(us), max(vs)) + 1) if us else 0
     return WeightedGraph(
@@ -75,3 +135,50 @@ def read_edgelist(path) -> WeightedGraph:
         np.asarray(vs, dtype=np.int64),
         np.asarray(ws, dtype=np.float64),
     )
+
+
+def write_graph_npz(g: WeightedGraph, path) -> None:
+    """Write ``g`` to ``path`` as a compressed ``.npz`` payload.
+
+    The edge arrays round-trip bit-exactly (no float repr/parse cycle),
+    which is what lets persisted spanners answer queries bit-identically
+    to the in-memory originals.
+    """
+    path = Path(path)
+    with path.open("wb") as fh:
+        np.savez_compressed(
+            fh,
+            format_version=np.int64(GRAPH_NPZ_VERSION),
+            n=np.int64(g.n),
+            u=g.edges_u,
+            v=g.edges_v,
+            w=g.edges_w,
+        )
+
+
+def read_graph_npz(path) -> WeightedGraph:
+    """Read a graph written by :func:`write_graph_npz`.
+
+    Raises
+    ------
+    ValueError
+        On a missing/foreign payload or an unsupported ``format_version``.
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        keys = set(data.files)
+        if not {"format_version", "n", "u", "v", "w"} <= keys:
+            raise ValueError(f"{path}: not a graph npz payload (keys: {sorted(keys)})")
+        version = int(data["format_version"])
+        if version > GRAPH_NPZ_VERSION:
+            raise ValueError(
+                f"{path}: graph npz format v{version} is newer than the "
+                f"supported v{GRAPH_NPZ_VERSION}"
+            )
+        return WeightedGraph(
+            int(data["n"]),
+            data["u"].astype(np.int64),
+            data["v"].astype(np.int64),
+            data["w"].astype(np.float64),
+            validate=False,
+        )

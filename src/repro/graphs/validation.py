@@ -112,7 +112,11 @@ def sampled_pair_stretch(
 ) -> StretchReport:
     """Stretch over ``num_pairs`` random connected pairs — the scalable
     estimator for larger graphs."""
-    rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    # Late import: graphs is the layer below core, so the shared seed
+    # normalization is pulled in at call time rather than at module scope.
+    from ..core.params import coerce_rng
+
+    rng = coerce_rng(rng)
     if g.n < 2:
         return StretchReport(1.0, 1.0, 0, "sampled-pairs")
     us = rng.integers(0, g.n, size=num_pairs)

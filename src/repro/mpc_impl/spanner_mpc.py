@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.params import num_epochs, sampling_probability
+from ..core.params import coerce_rng, num_epochs, sampling_probability
 from ..core.results import IterationStats, MPCRunStats, RoundStats, SpannerResult
 from ..graphs.graph import WeightedGraph
 from ..mpc.config import MPCConfig
@@ -76,7 +76,7 @@ def spanner_mpc(
     """
     if k < 1:
         raise ValueError("k must be >= 1")
-    rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    rng = coerce_rng(rng)
     if t is None:
         from ..core.general_tradeoff import default_t
 

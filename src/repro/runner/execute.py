@@ -58,12 +58,42 @@ class PlanResult:
         return self.executed + self.skipped
 
 
-def run_trial(trial: TrialSpec) -> dict:
+def _persist_artifact(trial: TrialSpec, store_root: str, result, kind: str, g) -> str:
+    """Save the trial's built spanner as a serving artifact keyed by the
+    trial id, so a sweep's output directory doubles as a loadable
+    :class:`~repro.service.store.ArtifactStore`."""
+    from ..service.store import ArtifactStore
+
+    meta = {
+        "algorithm": trial.algorithm,
+        "graph": trial.graph,
+        "seed": trial.seed,
+        "weights": trial.weights,
+    }
+    # Spanner constructions return edge ids into g; APSP pipelines carry
+    # the collected spanner graph directly.
+    spanner = result.subgraph(g) if kind == "spanner" else result.spanner
+    t_effective = (
+        result.extra.get("t_effective", result.t) if kind == "spanner" else result.t
+    )
+    return ArtifactStore(store_root).save_spanner(
+        spanner,
+        k=result.k,
+        t=result.t,
+        t_effective=t_effective,
+        key=trial.trial_id,
+        meta=meta,
+    )
+
+
+def run_trial(trial: TrialSpec, store_root: str | None = None) -> dict:
     """Execute one trial and return its flat record.
 
     Top-level (picklable) so it can cross a process-pool boundary.  Errors
     are captured into the record (``error`` key) rather than raised — one
-    pathological configuration must not kill a sweep.
+    pathological configuration must not kill a sweep.  With ``store_root``
+    set, the built spanner additionally lands in that artifact store under
+    the trial id (``artifact_key`` in the record).
     """
     record = {"trial_id": trial.trial_id, **trial.to_json()}
     try:
@@ -76,6 +106,11 @@ def run_trial(trial: TrialSpec) -> dict:
         start = time.perf_counter()
         result = algo.run(g, k=trial.k, t=trial.t, rng=trial.seed)
         record["elapsed_s"] = round(time.perf_counter() - start, 6)
+
+        if store_root is not None:
+            record["artifact_key"] = _persist_artifact(
+                trial, store_root, result, algo.kind, g
+            )
 
         if trial.certify:
             from ..verify import certify_result
@@ -197,6 +232,7 @@ def run_plan(
     out_dir=None,
     resume: bool = True,
     progress=None,
+    persist: bool = False,
 ) -> PlanResult:
     """Run every trial of ``plan``; return records plus execution counts.
 
@@ -217,17 +253,35 @@ def run_plan(
     progress:
         Optional ``callback(record, done, total)`` invoked per completed
         trial (the CLI uses it for live output).
+    persist:
+        When true (requires ``out_dir``), every trial's built spanner is
+        additionally saved under ``out_dir/store`` as a serving artifact
+        keyed by the trial id — the sweep output becomes a loadable
+        :class:`~repro.service.store.ArtifactStore`.
     """
     start = time.perf_counter()
     trials = plan.trials()
+
+    if persist and out_dir is None:
+        raise ValueError("persist=True requires an out_dir")
 
     out_path: Path | None = None
     if out_dir is not None:
         out_path = Path(out_dir)
         (out_path / "trials").mkdir(parents=True, exist_ok=True)
         plan.save(out_path / "plan.json")
+    store_root = str(out_path / "store") if (persist and out_path) else None
 
     completed = _load_completed(out_path, trials) if resume else {}
+    if store_root is not None and completed:
+        # The artifact is part of a persisting sweep's output: a resumed
+        # trial whose artifact is missing (e.g. the earlier run had no
+        # --persist) re-executes so the store ends up complete.
+        from ..service.store import ArtifactStore
+
+        store = ArtifactStore(store_root)
+        for trial_id in [t for t in completed if t not in store]:
+            del completed[trial_id]
     pending = [t for t in trials if t.trial_id not in completed]
 
     records_by_id = dict(completed)
@@ -244,10 +298,12 @@ def run_plan(
 
     if jobs <= 1 or len(pending) <= 1:
         for trial in pending:
-            _finish(run_trial(trial))
+            _finish(run_trial(trial, store_root))
     else:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {pool.submit(run_trial, trial): trial for trial in pending}
+            futures = {
+                pool.submit(run_trial, trial, store_root): trial for trial in pending
+            }
             for future in as_completed(futures):
                 _finish(future.result())
 

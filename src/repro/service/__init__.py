@@ -1,0 +1,21 @@
+"""Persist-then-serve query subsystem (the ROADMAP serving layer).
+
+Build once (``repro sweep --persist`` or the serving CLI's ``--build``),
+persist the query structures as versioned artifacts
+(:class:`~repro.service.store.ArtifactStore`), then serve distance
+queries from any process via :class:`~repro.service.engine.QueryEngine`
+— with a bounded LRU row cache, batched query planning, and optional
+process-pool sharding.  ``repro query`` / ``repro serve`` are the CLI
+front ends.
+"""
+
+from .engine import QueryEngine
+from .store import ArtifactInfo, ArtifactStore, STORE_FORMAT_VERSION, config_key
+
+__all__ = [
+    "ArtifactInfo",
+    "ArtifactStore",
+    "QueryEngine",
+    "STORE_FORMAT_VERSION",
+    "config_key",
+]

@@ -1,0 +1,239 @@
+"""The serving-side query engine: cache, batch, shard.
+
+:class:`QueryEngine` answers approximate-distance queries on a *built*
+structure — a spanner graph (optionally via a
+:class:`~repro.distances.oracle.SpannerDistanceOracle`) or a
+:class:`~repro.distances.sketches.DistanceSketch` — and owns the three
+serving concerns the build-side objects should not:
+
+* **Caching** — per-source Dijkstra rows live in a bounded
+  :class:`~repro.core.cache.LRURowCache`, so steady-state traffic with a
+  hot source set never recomputes hot rows (the seed's ``clear()``
+  eviction thrash, fixed for both :meth:`query` and :meth:`query_many`).
+* **Batched planning** — :meth:`query_many` groups pending pairs by
+  source and dispatches *one* ``batched_sssp`` over the distinct missing
+  sources, instead of a Dijkstra per pair.
+* **Sharding** — with ``shards >= 2``, missing sources are partitioned
+  across a persistent ``ProcessPoolExecutor``; each worker holds its own
+  copy of the spanner (sent once at pool start) and solves its source
+  chunk.  Rows come back to the parent's cache, so sharded and serial
+  engines answer bit-identically — Dijkstra runs are independent per
+  source.
+
+Sketch backends answer through the O(k) bidirectional pivot walk, which
+is already vectorized and needs neither rows nor shards; the engine is a
+uniform front end over both.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from ..core.cache import LRURowCache, answer_pairs_cached
+from ..distances.oracle import SpannerDistanceOracle
+from ..distances.sketches import DistanceSketch
+from ..graphs.distances import batched_sssp
+from ..graphs.graph import WeightedGraph
+
+__all__ = ["QueryEngine"]
+
+# Worker-process state: the spanner is shipped once via the pool
+# initializer, not per task.
+_WORKER_GRAPH: WeightedGraph | None = None
+
+
+def _init_worker(n: int, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> None:
+    global _WORKER_GRAPH
+    _WORKER_GRAPH = WeightedGraph(n, u, v, w, validate=False)
+
+
+def _worker_rows(sources: np.ndarray) -> np.ndarray:
+    assert _WORKER_GRAPH is not None
+    return batched_sssp(_WORKER_GRAPH, sources)
+
+
+class QueryEngine:
+    """Serve distance queries from a built spanner, oracle, or sketch.
+
+    Parameters
+    ----------
+    backend:
+        A :class:`WeightedGraph` (the spanner queries run on), a built
+        :class:`SpannerDistanceOracle` (its spanner is used), or a
+        :class:`DistanceSketch`.
+    cache_rows:
+        LRU bound on cached per-source distance rows (row backends only).
+    shards:
+        ``0``/``1`` solves missing rows in-process; ``>= 2`` partitions
+        them across that many worker processes.  Workers start lazily on
+        the first sharded solve and persist until :meth:`close`.
+
+    Examples
+    --------
+    >>> from repro.graphs import erdos_renyi
+    >>> from repro.distances import SpannerDistanceOracle
+    >>> g = erdos_renyi(128, 0.1, weights="uniform", rng=0)
+    >>> engine = QueryEngine(SpannerDistanceOracle(g, k=3, t=2, rng=0))
+    >>> engine.query(0, 7) >= 0.0
+    True
+    """
+
+    def __init__(
+        self,
+        backend,
+        *,
+        cache_rows: int = SpannerDistanceOracle.DEFAULT_CACHE_ROWS,
+        shards: int = 0,
+        meta: dict | None = None,
+    ) -> None:
+        self.sketch: DistanceSketch | None = None
+        if isinstance(backend, DistanceSketch):
+            self.sketch = backend
+            self.graph = backend.g
+        elif isinstance(backend, SpannerDistanceOracle):
+            self.graph = backend.spanner
+        elif isinstance(backend, WeightedGraph):
+            self.graph = backend
+        else:
+            raise TypeError(
+                f"backend must be a WeightedGraph, SpannerDistanceOracle or "
+                f"DistanceSketch, got {type(backend).__name__}"
+            )
+        if shards < 0:
+            raise ValueError("shards must be >= 0")
+        self.n = self.graph.n
+        self.shards = int(shards)
+        self.meta = dict(meta or {})
+        self._cache = LRURowCache(cache_rows)
+        self._pool: ProcessPoolExecutor | None = None
+        self.queries_served = 0
+        self.rows_solved = 0
+        self.batches = 0
+
+    # ------------------------------------------------------------------
+    # Construction from persisted artifacts
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        key: str,
+        *,
+        cache_rows: int = SpannerDistanceOracle.DEFAULT_CACHE_ROWS,
+        shards: int = 0,
+    ) -> "QueryEngine":
+        """Load an artifact (``oracle`` or ``sketch``) and serve it.
+
+        ``store`` is an :class:`~repro.service.store.ArtifactStore` or a
+        path to one.
+        """
+        from .store import ArtifactStore
+
+        if not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
+        info = store.info(key)
+        backend = store.load(key)
+        meta = {"artifact_key": key, "artifact_kind": info.kind, **info.meta}
+        return cls(backend, cache_rows=cache_rows, shards=shards, meta=meta)
+
+    # ------------------------------------------------------------------
+    # Row solving (cache + shards)
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            g = self.graph
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.shards,
+                initializer=_init_worker,
+                initargs=(g.n, g.edges_u, g.edges_v, g.edges_w),
+            )
+        return self._pool
+
+    def _solve_rows(self, missing: np.ndarray) -> np.ndarray:
+        """Dense ``(len(missing), n)`` distance rows for the given sources."""
+        self.rows_solved += int(missing.size)
+        if self.shards >= 2 and missing.size >= 2:
+            pool = self._ensure_pool()
+            chunks = [
+                c for c in np.array_split(missing, min(self.shards, missing.size))
+                if c.size
+            ]
+            futures = [pool.submit(_worker_rows, chunk) for chunk in chunks]
+            # np.array_split preserves order, so concatenation restores the
+            # original source order.
+            return np.concatenate([f.result() for f in futures], axis=0)
+        return batched_sssp(self.graph, missing)
+
+    def _row(self, source: int) -> np.ndarray:
+        row = self._cache.get(source)
+        if row is None:
+            row = self._solve_rows(np.asarray([source], dtype=np.int64))[0].copy()
+            self._cache.put(source, row)
+        return row
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, u: int, v: int) -> float:
+        """Approximate distance between ``u`` and ``v``."""
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError("vertex out of range")
+        self.queries_served += 1
+        if self.sketch is not None:
+            return self.sketch.query(u, v)
+        return float(self._row(u)[v])
+
+    def query_many(self, pairs) -> np.ndarray:
+        """Batched :meth:`query` over an ``(r, 2)`` pair array.
+
+        Row backends plan the batch: pairs are grouped by source, rows
+        already cached are gathered immediately, and the distinct missing
+        sources go to *one* ``batched_sssp`` dispatch (sharded across the
+        worker pool when configured), landing in the cache for later
+        single queries.
+        """
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.size == 0:
+            return np.zeros(0)
+        pairs = pairs.reshape(-1, 2)
+        if pairs.min() < 0 or pairs.max() >= self.n:
+            raise ValueError("vertex out of range")
+        self.queries_served += pairs.shape[0]
+        self.batches += 1
+        if self.sketch is not None:
+            return self.sketch.query_many(pairs)
+        # Shared planning with the oracle (repro.core.cache): one
+        # _solve_rows dispatch over the distinct missing sources — sharded
+        # across the worker pool when configured — with every row cached.
+        return answer_pairs_cached(self._cache, pairs, self._solve_rows)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Serving counters plus row-cache effectiveness (JSON-ready)."""
+        return {
+            "backend": "sketch" if self.sketch is not None else "rows",
+            "n": self.n,
+            "m": self.graph.m,
+            "shards": self.shards,
+            "queries_served": self.queries_served,
+            "batches": self.batches,
+            "rows_solved": self.rows_solved,
+            "cache": self._cache.stats(),
+            **({"meta": self.meta} if self.meta else {}),
+        }
+
+    def close(self) -> None:
+        """Shut down the shard worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,329 @@
+"""Versioned on-disk artifacts for built distance structures.
+
+The paper's economics are *build once, query forever*: the expensive
+parallel preprocessing (spanner construction, Thorup–Zwick bunches) runs
+in a sweep, and the cheap query structures should then be loadable by any
+serving process.  :class:`ArtifactStore` is that boundary — a directory of
+self-contained artifacts, one per key::
+
+    <root>/<key>/manifest.json    # format version, kind, metadata
+    <root>/<key>/arrays.npz       # the numpy payload (bit-exact)
+
+Two artifact kinds:
+
+``oracle``
+    A built spanner graph plus its ``(k, t)`` parameters — everything a
+    :class:`~repro.distances.oracle.SpannerDistanceOracle` replica needs
+    (queries run Dijkstra *on the spanner*, so a reloaded oracle answers
+    bit-identically to the freshly built one).
+``sketch``
+    The full Thorup–Zwick state of a
+    :class:`~repro.distances.sketches.DistanceSketch`: hierarchy levels,
+    pivot tables and the CSR bunch arrays, plus the (spanner) graph it was
+    built on.  Reloading skips all preprocessing.
+
+Keys default to a content hash of the artifact's build configuration
+(:func:`config_key` — the same ``sha256(json)[:16]`` recipe as
+:attr:`~repro.runner.plan.TrialSpec.trial_id`), so ``repro sweep
+--persist`` output lands under the runner's own trial ids and a serving
+process can resolve "the artifact for this configuration" without a
+side channel.
+
+Saves are atomic per artifact: the payload is written into a temporary
+sibling directory and renamed into place, so a crashed writer never
+leaves a half-written artifact behind a valid key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..distances.oracle import SpannerDistanceOracle
+from ..distances.sketches import DistanceSketch
+from ..graphs.graph import WeightedGraph
+from ..graphs.io import GRAPH_NPZ_VERSION
+
+__all__ = ["ArtifactStore", "ArtifactInfo", "config_key", "STORE_FORMAT_VERSION"]
+
+#: Manifest schema version; bumped on layout changes.
+STORE_FORMAT_VERSION = 1
+
+_KINDS = ("oracle", "sketch")
+_MANIFEST = "manifest.json"
+_ARRAYS = "arrays.npz"
+
+
+def config_key(config: dict) -> str:
+    """Deterministic 16-hex-char content hash of a build configuration.
+
+    Same recipe as the experiment runner's trial ids, so artifacts persisted
+    by a sweep and artifacts resolved by the serving CLI agree on keys.
+    """
+    payload = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ArtifactInfo:
+    """One store entry: key, kind, and the manifest metadata."""
+
+    key: str
+    kind: str
+    meta: dict
+    path: str
+
+
+def _graph_payload(g: WeightedGraph) -> dict:
+    return {
+        "graph_version": np.int64(GRAPH_NPZ_VERSION),
+        "n": np.int64(g.n),
+        "u": g.edges_u,
+        "v": g.edges_v,
+        "w": g.edges_w,
+    }
+
+
+def _graph_from_payload(data) -> WeightedGraph:
+    return WeightedGraph(
+        int(data["n"]),
+        data["u"].astype(np.int64),
+        data["v"].astype(np.int64),
+        data["w"].astype(np.float64),
+        validate=False,
+    )
+
+
+class ArtifactStore:
+    """A directory of versioned, self-contained query-structure artifacts."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Listing / lookup
+    # ------------------------------------------------------------------
+    def _dir(self, key: str) -> Path:
+        if not key or "/" in key or key.startswith("."):
+            raise ValueError(f"bad artifact key {key!r}")
+        return self.root / key
+
+    def __contains__(self, key: str) -> bool:
+        try:
+            return (self._dir(key) / _MANIFEST).is_file()
+        except ValueError:
+            return False
+
+    def keys(self) -> list[str]:
+        """Sorted keys of every complete artifact in the store."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.name
+            for p in self.root.iterdir()
+            # Dot-prefixed names are in-flight/stale ``.tmp-*`` scratch
+            # directories (a crashed writer can leave one holding a
+            # manifest), never loadable artifacts.
+            if p.is_dir() and not p.name.startswith(".") and (p / _MANIFEST).is_file()
+        )
+
+    def info(self, key: str) -> ArtifactInfo:
+        """Manifest of one artifact (raises ``KeyError`` when absent)."""
+        path = self._dir(key)
+        manifest_path = path / _MANIFEST
+        if not manifest_path.is_file():
+            raise KeyError(f"no artifact {key!r} under {self.root}")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"{manifest_path}: unreadable manifest: {exc}") from exc
+        version = manifest.get("format_version")
+        if not isinstance(version, int) or version > STORE_FORMAT_VERSION:
+            raise ValueError(
+                f"{manifest_path}: format_version {version!r} unsupported "
+                f"(this build reads <= v{STORE_FORMAT_VERSION})"
+            )
+        kind = manifest.get("kind")
+        if kind not in _KINDS:
+            raise ValueError(f"{manifest_path}: unknown artifact kind {kind!r}")
+        return ArtifactInfo(
+            key=key, kind=kind, meta=dict(manifest.get("meta", {})), path=str(path)
+        )
+
+    # ------------------------------------------------------------------
+    # Saving
+    # ------------------------------------------------------------------
+    def _write(self, key: str, kind: str, arrays: dict, meta: dict) -> str:
+        target = self._dir(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.root / f".tmp-{key}-{os.getpid()}"
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir()
+        try:
+            with (tmp / _ARRAYS).open("wb") as fh:
+                np.savez_compressed(fh, **arrays)
+            manifest = {
+                "format_version": STORE_FORMAT_VERSION,
+                "kind": kind,
+                "key": key,
+                "meta": meta,
+                "arrays": _ARRAYS,
+            }
+            (tmp / _MANIFEST).write_text(
+                json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+            )
+            if target.exists():
+                shutil.rmtree(target)
+            tmp.replace(target)
+        finally:
+            if tmp.exists():  # pragma: no cover - crash-path cleanup
+                shutil.rmtree(tmp, ignore_errors=True)
+        return key
+
+    def save_spanner(
+        self,
+        spanner: WeightedGraph,
+        *,
+        k: int,
+        t: int | None = None,
+        t_effective: int | None = None,
+        key: str | None = None,
+        meta: dict | None = None,
+    ) -> str:
+        """Persist a built spanner as an ``oracle`` artifact; returns the key."""
+        meta = dict(meta or {})
+        meta.update(
+            {
+                "k": int(k),
+                "t": None if t is None else int(t),
+                "t_effective": int(t_effective if t_effective is not None else (t or k)),
+                "n": spanner.n,
+                "spanner_edges": spanner.m,
+            }
+        )
+        if key is None:
+            key = config_key({"kind": "oracle", **{k_: meta[k_] for k_ in sorted(meta)}})
+        return self._write(key, "oracle", _graph_payload(spanner), meta)
+
+    def save_oracle(
+        self,
+        oracle: SpannerDistanceOracle,
+        *,
+        key: str | None = None,
+        meta: dict | None = None,
+    ) -> str:
+        """Persist the serving state of a built oracle; returns the key."""
+        return self.save_spanner(
+            oracle.spanner,
+            k=oracle.k,
+            t=oracle.t,
+            t_effective=oracle.t_effective,
+            key=key,
+            meta=meta,
+        )
+
+    def save_sketch(
+        self,
+        sketch: DistanceSketch,
+        *,
+        key: str | None = None,
+        meta: dict | None = None,
+    ) -> str:
+        """Persist the full Thorup–Zwick state; returns the key."""
+        meta = dict(meta or {})
+        meta.update(
+            {
+                "k": sketch.k,
+                "n": sketch.g.n,
+                "sketch_words": sketch.size_words,
+            }
+        )
+        arrays = _graph_payload(sketch.g)
+        arrays.update(
+            {
+                "k": np.int64(sketch.k),
+                "level_sizes": np.asarray(
+                    [lv.size for lv in sketch.levels], dtype=np.int64
+                ),
+                "levels_flat": (
+                    np.concatenate(sketch.levels)
+                    if sketch.levels
+                    else np.zeros(0, dtype=np.int64)
+                ),
+                "pivot": sketch.pivot,
+                "pivot_dist": sketch.pivot_dist,
+                "bunch_indptr": sketch.bunch_indptr,
+                "bunch_centers": sketch.bunch_centers,
+                "bunch_dists": sketch.bunch_dists,
+            }
+        )
+        if key is None:
+            key = config_key({"kind": "sketch", **{k_: meta[k_] for k_ in sorted(meta)}})
+        return self._write(key, "sketch", arrays, meta)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load(self, key: str, *, cache_rows: int | None = None):
+        """Reconstruct the query structure behind ``key``.
+
+        Returns a :class:`SpannerDistanceOracle` (``oracle`` artifacts) or
+        a :class:`DistanceSketch` (``sketch`` artifacts); both answer
+        queries bit-identically to the object that was saved.
+        """
+        info = self.info(key)
+        with np.load(Path(info.path) / _ARRAYS) as data:
+            g = _graph_from_payload(data)
+            if info.kind == "oracle":
+                kwargs = {}
+                if cache_rows is not None:
+                    kwargs["cache_rows"] = cache_rows
+                t = info.meta.get("t")
+                return SpannerDistanceOracle.from_spanner(
+                    g,
+                    int(info.meta["k"]),
+                    None if t is None else int(t),
+                    t_effective=int(info.meta["t_effective"]),
+                    **kwargs,
+                )
+            sizes = data["level_sizes"]
+            flat = data["levels_flat"]
+            bounds = np.concatenate([[0], np.cumsum(sizes)])
+            levels = [
+                flat[bounds[i] : bounds[i + 1]].astype(np.int64)
+                for i in range(sizes.size)
+            ]
+            return DistanceSketch.from_arrays(
+                g,
+                int(data["k"]),
+                levels,
+                data["pivot"],
+                data["pivot_dist"],
+                data["bunch_indptr"],
+                data["bunch_centers"],
+                data["bunch_dists"],
+            )
+
+    def load_oracle(self, key: str, *, cache_rows: int | None = None):
+        obj = self.load(key, cache_rows=cache_rows)
+        if not isinstance(obj, SpannerDistanceOracle):
+            raise ValueError(f"artifact {key!r} is a {self.info(key).kind}, not an oracle")
+        return obj
+
+    def load_sketch(self, key: str):
+        obj = self.load(key)
+        if not isinstance(obj, DistanceSketch):
+            raise ValueError(f"artifact {key!r} is a {self.info(key).kind}, not a sketch")
+        return obj
+
+    def delete(self, key: str) -> None:
+        path = self._dir(key)
+        if path.exists():
+            shutil.rmtree(path)

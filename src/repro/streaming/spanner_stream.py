@@ -48,6 +48,7 @@ import math
 
 import numpy as np
 
+from ..core.params import coerce_rng
 from ..core.results import IterationStats, SpannerResult, StreamStats
 from ..graphs.graph import WeightedGraph, lockstep_run_lookup, sorted_lookup
 from .stream import EdgeStream
@@ -196,7 +197,7 @@ def streaming_spanner(
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    rng = coerce_rng(rng)
 
     if k == 1 or g.m == 0:
         res = SpannerResult(
@@ -395,7 +396,7 @@ def streaming_spanner_reference(
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    rng = coerce_rng(rng)
 
     if k == 1 or g.m == 0:
         res = SpannerResult(

@@ -169,18 +169,19 @@ class TestBatchedDistances:
             assert np.array_equal(rows, expect[lo : lo + rows.shape[0]])
         assert sum(c for _, c in offsets) == g.n
 
-    def test_oracle_query_many_survives_cache_clear(self):
+    def test_oracle_query_many_survives_mid_call_eviction(self):
         from repro.distances import SpannerDistanceOracle
 
         g = erdos_renyi(60, 0.15, weights="uniform", rng=21)
-        o = SpannerDistanceOracle(g, rng=21)
-        # Pre-cache source 5, then force the bounded cache to evict it in
-        # the same query_many call that still needs it.
+        # Capacity 1: caching the rows for sources 6..9 inside query_many
+        # evicts source 5's row while the same call still needs it.
+        o = SpannerDistanceOracle(g, rng=21, cache_rows=1)
         before = o.query(5, 7)
-        o._cache.update({10_000 + i: o._cache[5] for i in range(4096)})
-        got = o.query_many([[5, 7], [6, 8]])
+        got = o.query_many([[5, 7], [6, 8], [7, 9], [8, 1], [9, 2], [5, 8]])
         assert got[0] == before
         assert got[1] == o.query(6, 8)
+        assert got[5] == o.query(5, 8)
+        assert len(o._cache) == 1  # the bound held throughout
 
 
 class TestGraphLookups:

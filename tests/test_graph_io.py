@@ -1,0 +1,119 @@
+"""Tests for graph persistence: hardened edge-list parsing + npz round trip."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import erdos_renyi, read_edgelist, write_edgelist
+from repro.graphs.io import GRAPH_NPZ_VERSION, read_graph_npz, write_graph_npz
+
+
+@pytest.fixture
+def g():
+    return erdos_renyi(60, 0.15, weights="uniform", rng=3)
+
+
+class TestEdgelistRoundTrip:
+    def test_round_trip(self, g, tmp_path):
+        path = tmp_path / "g.edges"
+        write_edgelist(g, path)
+        assert read_edgelist(path) == g
+
+    def test_isolated_vertices_survive(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# n=9\n0 1 2.0\n")
+        assert read_edgelist(path).n == 9
+
+    def test_missing_header_infers_n(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1 2.0\n4 2 1.5\n")
+        assert read_edgelist(path).n == 5
+
+    def test_missing_weights_default_to_unit(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# n = 5\n0 1\n2 3\n")
+        g2 = read_edgelist(path)
+        assert g2.n == 5 and g2.m == 2 and g2.is_unweighted
+
+    def test_header_spacing_tolerated(self, tmp_path):
+        path = tmp_path / "g.edges"
+        for header in ("#  n = 7", "# n  =  7", "# n =7", "#n=7"):
+            path.write_text(f"{header}\n0 1 1.0\n")
+            assert read_edgelist(path).n == 7, header
+
+    def test_unrelated_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# note: from somewhere\n# n=4\n0 1 1.0\n")
+        assert read_edgelist(path).n == 4
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("")
+        assert read_edgelist(path).n == 0
+
+
+class TestEdgelistRejections:
+    """Malformed input fails here, with the offending line number —
+    not deeper in WeightedGraph construction."""
+
+    @pytest.mark.parametrize(
+        "content, lineno, fragment",
+        [
+            ("0 1 1.0\n0 1 2 3\n", 2, "expected 'u v"),
+            ("0 x 1.0\n", 1, "non-numeric"),
+            ("0 1 abc\n", 1, "non-numeric"),
+            ("-1 2 1.0\n", 1, "negative endpoint"),
+            ("# n=3\n0 1 1.0\n1 7 1.0\n", 3, "out of range for header n=3"),
+            ("0 1 nan\n", 1, "positive and finite"),
+            ("0 1 inf\n", 1, "positive and finite"),
+            ("0 1 -4.0\n", 1, "positive and finite"),
+            ("0 1 0.0\n", 1, "positive and finite"),
+            ("2 2 1.0\n", 1, "self loop"),
+            ("# n=x\n", 1, "bad header"),
+            ("# n = 1.5\n", 1, "bad header"),
+            ("# n=-2\n", 1, ">= 0"),
+        ],
+    )
+    def test_line_numbered_errors(self, tmp_path, content, lineno, fragment):
+        path = tmp_path / "bad.edges"
+        path.write_text(content)
+        with pytest.raises(ValueError, match=fragment) as exc:
+            read_edgelist(path)
+        assert f":{lineno}:" in str(exc.value)
+
+
+class TestGraphNpz:
+    def test_round_trip_bit_exact(self, g, tmp_path):
+        path = tmp_path / "g.npz"
+        write_graph_npz(g, path)
+        g2 = read_graph_npz(path)
+        assert g2 == g
+        assert np.array_equal(g2.edges_w, g.edges_w)
+
+    def test_empty_graph(self, tmp_path):
+        from repro.graphs import WeightedGraph
+
+        path = tmp_path / "g.npz"
+        write_graph_npz(WeightedGraph.from_edges(4, []), path)
+        g2 = read_graph_npz(path)
+        assert g2.n == 4 and g2.m == 0
+
+    def test_foreign_payload_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(ValueError, match="not a graph npz"):
+            read_graph_npz(path)
+
+    def test_future_version_rejected(self, g, tmp_path):
+        path = tmp_path / "g.npz"
+        np.savez(
+            path,
+            format_version=np.int64(GRAPH_NPZ_VERSION + 1),
+            n=np.int64(g.n),
+            u=g.edges_u,
+            v=g.edges_v,
+            w=g.edges_w,
+        )
+        with pytest.raises(ValueError, match="newer than the supported"):
+            read_graph_npz(path)

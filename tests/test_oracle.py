@@ -94,3 +94,82 @@ class TestSSSPHelpers:
         exact = sssp(g, 3)
         mx, mean = sssp_quality(g, exact, 3)
         assert mx == pytest.approx(1.0)
+
+
+class TestLRUCachePolicy:
+    """ISSUE 5 bugfix: the row cache evicts LRU instead of clear()-ing."""
+
+    def test_eviction_order(self):
+        from repro.core.cache import LRURowCache
+
+        c = LRURowCache(3)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("c", 3)
+        assert c.get("a") == 1  # refresh "a"
+        c.put("d", 4)  # evicts "b", the least recently used
+        assert "b" not in c and c.keys() == ["c", "a", "d"]
+        c.put("c", 30)  # refresh by put
+        c.put("e", 5)  # evicts "a"
+        assert "a" not in c and c.get("c") == 30
+        assert c.evictions == 2
+
+    def test_capacity_one_and_validation(self):
+        import pytest
+
+        from repro.core.cache import LRURowCache
+
+        with pytest.raises(ValueError):
+            LRURowCache(0)
+        c = LRURowCache(1)
+        c.put(1, "x")
+        c.put(2, "y")
+        assert len(c) == 1 and c.get(2) == "y" and c.get(1) is None
+        assert c.stats()["hit_rate"] == 0.5
+
+    def test_hot_rows_survive_distinct_source_churn(self, g):
+        """A cached single-pair query survives > capacity distinct sources
+        without recomputation (the seed's clear() policy failed this)."""
+        o = SpannerDistanceOracle(g, k=4, t=2, rng=21, cache_rows=16)
+        solved = []
+        orig = o._solve_row
+        o._solve_row = lambda s: solved.append(s) or orig(s)
+        hot = o.query(0, 5)
+        for s in range(1, g.n):  # 219 distinct cold sources through cap 16
+            o.query(s, 7)
+            assert o.query(0, 5) == hot
+        assert solved.count(0) == 1  # the hot row was computed exactly once
+        assert len(solved) == g.n
+        assert o.cache_stats["evictions"] > 0
+
+    def test_query_many_populates_cache_past_bound(self, g):
+        o = SpannerDistanceOracle(g, k=4, t=2, rng=22, cache_rows=8)
+        pairs = np.stack([np.arange(32), np.full(32, 5)], axis=1)
+        o.query_many(pairs)  # 32 distinct sources through an 8-row cache
+        stats = o.cache_stats
+        assert stats["entries"] == 8  # population did not stop at the bound
+        assert stats["evictions"] == 32 - 8
+        # The 8 most recent sources are resident: these queries are hits.
+        before = stats["misses"]
+        for s in range(24, 32):
+            o.query(s, 7)
+        assert o.cache_stats["misses"] == before
+
+    def test_query_many_consistent_under_eviction(self, g):
+        o_small = SpannerDistanceOracle(g, k=4, t=2, rng=23, cache_rows=4)
+        o_big = SpannerDistanceOracle.from_spanner(
+            o_small.spanner, o_small.k, o_small.t,
+            t_effective=o_small.t_effective, g=g,
+        )
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(0, g.n, size=(500, 2))
+        assert np.array_equal(o_small.query_many(pairs), o_big.query_many(pairs))
+
+    def test_from_spanner_round_trip_guarantee(self, g):
+        o = SpannerDistanceOracle(g, k=5, t=2, rng=24)
+        o2 = SpannerDistanceOracle.from_spanner(
+            o.spanner, o.k, o.t, t_effective=o.t_effective, g=g
+        )
+        assert o2.guaranteed_stretch == o.guaranteed_stretch
+        assert o2.result is None
+        assert o2.query(1, 9) == o.query(1, 9)
