@@ -20,9 +20,13 @@ Suites and their artifacts:
 * ``service``  -> ``BENCH_service.json`` (query-throughput workloads: the
   LRU-vs-clear() thrash duel, batched q/s, sharded + persistence
   bit-identity; see ``repro query`` and benchmarks/bench_service.py)
+* ``scale``    -> ``BENCH_scale.json`` (memory scaling of the zero-copy
+  serving path: peak RSS per phase, the O(graph + eps) worker-memory
+  gate vs the legacy per-worker-copy recipe, mmap vs eager loads; see
+  benchmarks/bench_scale.py)
 
-``--suite full`` regenerates all four in one invocation and prints a
-compact trajectory diff against the previously committed snapshots.
+``--suite full`` regenerates every snapshot in one invocation and prints
+a compact trajectory diff against the previously committed files.
 
 No PYTHONPATH fiddling needed — the script wires up ``src`` and
 ``benchmarks`` itself.
@@ -44,6 +48,7 @@ OUT_PATHS = {
     "runner": "BENCH_runner.json",
     "suite": "BENCH_suite.json",
     "service": "BENCH_service.json",
+    "scale": "BENCH_scale.json",
 }
 
 
@@ -130,11 +135,29 @@ def _run_service(args, out_path: str) -> tuple[int, dict]:
     return rc, record
 
 
+def _run_scale(args, out_path: str) -> tuple[int, dict]:
+    from bench_scale import format_table, identity_gate, run_scale_bench, scale_gate
+
+    record = run_scale_bench(smoke=args.smoke)
+    print(format_table(record))
+    _write(record, out_path)
+
+    rc = 0
+    for gate in (scale_gate, identity_gate):
+        ok, reasons = gate(record)
+        for reason in reasons:
+            print(f"{gate.__name__}: {reason}", file=sys.stdout if ok else sys.stderr)
+        if not ok:
+            rc = 1
+    return rc, record
+
+
 SUITES = {
     "distance": _run_distance,
     "runner": _run_runner,
     "suite": _run_suite,
     "service": _run_service,
+    "scale": _run_scale,
 }
 
 
@@ -169,6 +192,17 @@ def _trajectory_diff(name: str, old: dict | None, new: dict) -> list[str]:
             f"  service thrash speedup: {_fmt(o, 'x')} -> {_fmt(nt.get('speedup'), 'x')}; "
             f"zipf qps: {_fmt(ob)} -> {_fmt(nb)}"
         )
+    elif name == "scale":
+        old_points = (old or {}).get("points", {})
+        for point, rec in sorted(new.get("points", {}).items()):
+            o = old_points.get(point, {}).get("memory", {}).get("overhead_ratio")
+            n = rec.get("memory", {}).get("overhead_ratio")
+            ol = old_points.get(point, {}).get("memory", {}).get("legacy_overhead_ratio")
+            nl = rec.get("memory", {}).get("legacy_overhead_ratio")
+            lines.append(
+                f"  scale {point} worker-overhead: {_fmt(o, 'x')} -> {_fmt(n, 'x')} "
+                f"(legacy: {_fmt(ol, 'x')} -> {_fmt(nl, 'x')})"
+            )
     elif name == "suite":
         old_algos = (old or {}).get("algorithms", {})
         for algo, rec in sorted(new.get("algorithms", {}).items()):

@@ -479,7 +479,11 @@ def _resolve_engine(args):
             _build_service_artifact(store, key, _service_config(args))
             built = True
     engine = QueryEngine.from_store(
-        store, key, cache_rows=args.cache_rows, shards=args.shards
+        store,
+        key,
+        cache_rows=args.cache_rows,
+        shards=args.shards,
+        mmap=not args.eager,
     )
     return key, built, engine
 
@@ -760,7 +764,13 @@ def make_parser() -> argparse.ArgumentParser:
             "--shards",
             type=int,
             default=0,
-            help=">=2 partitions row solves across that many worker processes",
+            help=">=2 partitions row solves across that many worker processes "
+            "(all attached to one shared-memory copy of the spanner)",
+        )
+        sp.add_argument(
+            "--eager",
+            action="store_true",
+            help="materialize artifact arrays instead of memmapping them",
         )
 
     sp = sub.add_parser(

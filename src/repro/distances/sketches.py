@@ -321,6 +321,12 @@ class DistanceSketch:
         once, and the saved arrays are everything the query walk touches —
         a reloaded sketch answers :meth:`query`/:meth:`query_many`
         bit-identically to the freshly built one.
+
+        Index arrays that arrive as int32 (downcast store artifacts) are
+        kept int32, and already-correct dtypes are adopted without a copy —
+        memmap-backed artifact views stay memmaps.  The membership keys
+        are always computed in int64: ``v * n + center`` overflows int32
+        for every ``n >= 2**15.5``.
         """
         if pivot.shape != (k + 1, g.n) or pivot_dist.shape != (k + 1, g.n):
             raise ValueError("pivot arrays must have shape (k + 1, n)")
@@ -328,17 +334,24 @@ class DistanceSketch:
             raise ValueError("bunch_indptr must have shape (n + 1,)")
         if bunch_centers.shape != bunch_dists.shape:
             raise ValueError("bunch_centers and bunch_dists must be parallel")
+
+        def _idx(arr):
+            arr = np.asarray(arr)
+            if arr.dtype in (np.int32, np.int64):
+                return arr
+            return arr.astype(np.int64, copy=False)
+
         self = cls.__new__(cls)
         self.g = g
         self.k = int(k)
-        self.levels = [np.asarray(lv, dtype=np.int64) for lv in levels]
-        self.pivot = np.asarray(pivot, dtype=np.int64)
-        self.pivot_dist = np.asarray(pivot_dist, dtype=np.float64)
-        self.bunch_indptr = np.asarray(bunch_indptr, dtype=np.int64)
-        self.bunch_centers = np.asarray(bunch_centers, dtype=np.int64)
-        self.bunch_dists = np.asarray(bunch_dists, dtype=np.float64)
+        self.levels = [_idx(lv) for lv in levels]
+        self.pivot = _idx(pivot)
+        self.pivot_dist = np.asarray(pivot_dist).astype(np.float64, copy=False)
+        self.bunch_indptr = _idx(bunch_indptr)
+        self.bunch_centers = _idx(bunch_centers)
+        self.bunch_dists = np.asarray(bunch_dists).astype(np.float64, copy=False)
         self._bunch_keys = (
-            self.bunch_centers
+            self.bunch_centers.astype(np.int64, copy=False)
             + np.repeat(np.arange(g.n, dtype=np.int64), np.diff(self.bunch_indptr))
             * np.int64(g.n)
         )

@@ -110,9 +110,15 @@ def canonical_edges(
 
     Self loops are rejected with :class:`ValueError` — spanners of simple
     graphs never need them and silently dropping them would hide input bugs.
+
+    Endpoint arrays that arrive as int32 (the store's downcast index mode
+    for ``n < 2**31``) stay int32; everything else is normalized to int64.
     """
-    u = np.asarray(u, dtype=np.int64)
-    v = np.asarray(v, dtype=np.int64)
+    u = np.asarray(u)
+    v = np.asarray(v)
+    if not (u.dtype == np.int32 and v.dtype == np.int32):
+        u = u.astype(np.int64, copy=False)
+        v = v.astype(np.int64, copy=False)
     w = np.asarray(w, dtype=np.float64)
     if u.shape != v.shape or u.shape != w.shape:
         raise ValueError(
@@ -235,6 +241,40 @@ class WeightedGraph:
         return cls(n, arr[:, 0], arr[:, 1], np.ones(arr.shape[0]))
 
     @classmethod
+    def from_canonical(
+        cls,
+        n: int,
+        u: np.ndarray,
+        v: np.ndarray,
+        w: np.ndarray,
+        *,
+        scipy_csr: "sparse.csr_matrix | None" = None,
+    ) -> "WeightedGraph":
+        """Adopt already-canonical edge arrays without copying them.
+
+        ``u``, ``v``, ``w`` must be exactly what :attr:`edges_u` /
+        :attr:`edges_v` / :attr:`edges_w` of some graph held: deduplicated,
+        ``u < v`` per edge, lexsorted by ``(u, v)``.  That is what the
+        artifact store persists and what shared-memory attach hands back,
+        so the zero-copy load paths use this instead of re-running
+        :func:`dedupe_edges` (which would sort and copy every array).
+        The arrays may be read-only views (``np.memmap``, shared-memory
+        buffers); the graph never writes to them.
+
+        ``scipy_csr`` optionally preloads the :meth:`to_scipy` cache with an
+        externally shared matrix, so workers never rebuild it privately.
+        """
+        self = cls.__new__(cls)
+        self.n = int(n)
+        self._u = np.asarray(u)
+        self._v = np.asarray(v)
+        self._w = np.asarray(w)
+        self._csr = None
+        self._scipy = scipy_csr
+        self._edge_keys = None
+        return self
+
+    @classmethod
     def from_networkx(cls, g) -> "WeightedGraph":
         """Convert a ``networkx`` graph (nodes must be 0..n-1 ints)."""
         n = g.number_of_nodes()
@@ -316,7 +356,15 @@ class WeightedGraph:
         eid = np.concatenate([np.arange(m), np.arange(m)])
         order = np.lexsort((dst, src))
         src, dst, wt, eid = src[order], dst[order], wt[order], eid[order]
-        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        # int32 graphs keep an int32 indptr too (2m + 1 always fits there:
+        # int32 endpoints imply n < 2**31, and the arc count is bounded by
+        # the edge arrays we could address to begin with).
+        idx_dtype = (
+            np.int32
+            if self._u.dtype == np.int32 and 2 * m < np.iinfo(np.int32).max
+            else np.int64
+        )
+        indptr = np.zeros(self.n + 1, dtype=idx_dtype)
         np.add.at(indptr, src + 1, 1)
         np.cumsum(indptr, out=indptr)
         return _CSR(indptr=indptr, indices=dst, weights=wt, edge_ids=eid)
@@ -401,7 +449,11 @@ class WeightedGraph:
         makes every ``(u, v) -> id`` lookup a vectorized ``searchsorted``.
         """
         if self._edge_keys is None:
-            self._edge_keys = self._u * np.int64(self.n) + self._v
+            # Force int64: u * n overflows int32 whenever n**2 >= 2**31,
+            # which int32-indexed graphs (n < 2**31) routinely hit.
+            self._edge_keys = (
+                self._u.astype(np.int64, copy=False) * np.int64(self.n) + self._v
+            )
         return self._edge_keys
 
     def edge_ids_for(self, us, vs, *, missing: int = -1) -> np.ndarray:

@@ -137,16 +137,19 @@ def read_edgelist(path) -> WeightedGraph:
     )
 
 
-def write_graph_npz(g: WeightedGraph, path) -> None:
-    """Write ``g`` to ``path`` as a compressed ``.npz`` payload.
+def write_graph_npz(g: WeightedGraph, path, *, compressed: bool = False) -> None:
+    """Write ``g`` to ``path`` as an ``.npz`` payload.
 
     The edge arrays round-trip bit-exactly (no float repr/parse cycle),
     which is what lets persisted spanners answer queries bit-identically
-    to the in-memory originals.
+    to the in-memory originals.  Uncompressed by default so the members
+    are plain stored ``.npy`` blocks that :func:`read_graph_npz` can open
+    as lazy memmaps; pass ``compressed=True`` to trade that for size.
     """
     path = Path(path)
+    save = np.savez_compressed if compressed else np.savez
     with path.open("wb") as fh:
-        np.savez_compressed(
+        save(
             fh,
             format_version=np.int64(GRAPH_NPZ_VERSION),
             n=np.int64(g.n),
@@ -156,8 +159,60 @@ def write_graph_npz(g: WeightedGraph, path) -> None:
         )
 
 
-def read_graph_npz(path) -> WeightedGraph:
+def _npz_member_memmaps(path: Path, names: tuple[str, ...], mmap_mode: str):
+    """Memmap stored (uncompressed) ``.npy`` members of an npz directly.
+
+    ``np.load`` silently ignores ``mmap_mode`` for npz files, so the lazy
+    path is built by hand: locate each member's data inside the zip (local
+    file header + npy header) and hand back an ``np.memmap`` at that file
+    offset.  Returns ``None`` when any member cannot be mapped (deflated
+    payloads, Fortran order, exotic npy versions) — callers fall back to
+    the eager load.
+    """
+    import struct
+    import zipfile
+
+    from numpy.lib import format as npy_format
+
+    out: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as zf:
+        infos = {zi.filename: zi for zi in zf.infolist()}
+        with path.open("rb") as fh:
+            for name in names:
+                zinfo = infos.get(name + ".npy")
+                if zinfo is None or zinfo.compress_type != zipfile.ZIP_STORED:
+                    return None
+                # The central directory does not record the local header's
+                # exact extra-field length; parse the local header itself.
+                fh.seek(zinfo.header_offset)
+                local = fh.read(30)
+                if len(local) != 30 or local[:4] != b"PK\x03\x04":
+                    return None
+                fnlen, extralen = struct.unpack("<HH", local[26:30])
+                fh.seek(zinfo.header_offset + 30 + fnlen + extralen)
+                version = npy_format.read_magic(fh)
+                if version == (1, 0):
+                    shape, fortran, dtype = npy_format.read_array_header_1_0(fh)
+                elif version == (2, 0):
+                    shape, fortran, dtype = npy_format.read_array_header_2_0(fh)
+                else:
+                    return None
+                if fortran or dtype.hasobject:
+                    return None
+                out[name] = np.memmap(
+                    path, dtype=dtype, mode=mmap_mode, offset=fh.tell(), shape=shape
+                )
+    return out
+
+
+def read_graph_npz(path, *, mmap_mode: str | None = None) -> WeightedGraph:
     """Read a graph written by :func:`write_graph_npz`.
+
+    With ``mmap_mode`` (e.g. ``"r"``), the edge arrays of an uncompressed
+    payload are returned as lazy read-only memmap views — opening a
+    file-backed graph costs no copy, and processes mapping the same file
+    share physical pages.  Compressed payloads silently fall back to the
+    eager load (zip-deflated bytes cannot be mapped).
 
     Raises
     ------
@@ -175,10 +230,23 @@ def read_graph_npz(path) -> WeightedGraph:
                 f"{path}: graph npz format v{version} is newer than the "
                 f"supported v{GRAPH_NPZ_VERSION}"
             )
+        n = int(data["n"])
+        arrays = None
+        if mmap_mode is not None:
+            arrays = _npz_member_memmaps(path, ("u", "v", "w"), mmap_mode)
+        if arrays is not None:
+            # Our own writer emits canonical (deduped, sorted) edge arrays;
+            # adopt the views without the dedupe sort/copy.
+            return WeightedGraph.from_canonical(
+                n,
+                arrays["u"],
+                arrays["v"],
+                np.asarray(arrays["w"]).astype(np.float64, copy=False),
+            )
         return WeightedGraph(
-            int(data["n"]),
-            data["u"].astype(np.int64),
-            data["v"].astype(np.int64),
-            data["w"].astype(np.float64),
+            n,
+            data["u"].astype(np.int64, copy=False),
+            data["v"].astype(np.int64, copy=False),
+            data["w"].astype(np.float64, copy=False),
             validate=False,
         )

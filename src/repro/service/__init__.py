@@ -10,12 +10,14 @@ front ends.
 """
 
 from .engine import QueryEngine
+from .shm import SharedGraphBuffers
 from .store import ArtifactInfo, ArtifactStore, STORE_FORMAT_VERSION, config_key
 
 __all__ = [
     "ArtifactInfo",
     "ArtifactStore",
     "QueryEngine",
+    "SharedGraphBuffers",
     "STORE_FORMAT_VERSION",
     "config_key",
 ]

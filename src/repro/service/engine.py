@@ -14,11 +14,15 @@ serving concerns the build-side objects should not:
   source and dispatches *one* ``batched_sssp`` over the distinct missing
   sources, instead of a Dijkstra per pair.
 * **Sharding** — with ``shards >= 2``, missing sources are partitioned
-  across a persistent ``ProcessPoolExecutor``; each worker holds its own
-  copy of the spanner (sent once at pool start) and solves its source
-  chunk.  Rows come back to the parent's cache, so sharded and serial
-  engines answer bit-identically — Dijkstra runs are independent per
-  source.
+  across a persistent ``ProcessPoolExecutor``.  All workers *and* the
+  parent read **one** physical copy of the spanner: the edge arrays and
+  the scipy CSR live in a :class:`~repro.service.shm.SharedGraphBuffers`
+  shared-memory segment, workers attach by name in the pool initializer
+  and rebuild a zero-copy graph over the views.  Worker memory is
+  therefore O(graph + ε) total, not O(shards × graph).  Rows come back to
+  the parent's cache, so sharded and serial engines answer bit-identically
+  — Dijkstra runs are independent per source.  :meth:`close` (or
+  interpreter exit, via an atexit hook) unlinks the segment.
 
 Sketch backends answer through the O(k) bidirectional pivot walk, which
 is already vectorized and needs neither rows nor shards; the engine is a
@@ -27,6 +31,7 @@ uniform front end over both.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -36,22 +41,31 @@ from ..distances.oracle import SpannerDistanceOracle
 from ..distances.sketches import DistanceSketch
 from ..graphs.distances import batched_sssp
 from ..graphs.graph import WeightedGraph
+from .mem import process_memory
+from .shm import SharedGraphBuffers
 
 __all__ = ["QueryEngine"]
 
-# Worker-process state: the spanner is shipped once via the pool
-# initializer, not per task.
+# Worker-process state: a zero-copy graph over the attached shared-memory
+# views — only the segment *name* crosses the process boundary.
 _WORKER_GRAPH: WeightedGraph | None = None
 
 
-def _init_worker(n: int, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> None:
+def _init_worker(descriptor: dict) -> None:
     global _WORKER_GRAPH
-    _WORKER_GRAPH = WeightedGraph(n, u, v, w, validate=False)
+    _WORKER_GRAPH = SharedGraphBuffers.attach(descriptor).graph()
 
 
 def _worker_rows(sources: np.ndarray) -> np.ndarray:
     assert _WORKER_GRAPH is not None
     return batched_sssp(_WORKER_GRAPH, sources)
+
+
+def _worker_memstats(settle_s: float) -> dict:
+    """Memory snapshot of one worker; the sleep keeps probes from landing
+    on the same (fast) worker twice."""
+    time.sleep(settle_s)
+    return process_memory()
 
 
 class QueryEngine:
@@ -108,6 +122,7 @@ class QueryEngine:
         self.meta = dict(meta or {})
         self._cache = LRURowCache(cache_rows)
         self._pool: ProcessPoolExecutor | None = None
+        self._shared: SharedGraphBuffers | None = None
         self.queries_served = 0
         self.rows_solved = 0
         self.batches = 0
@@ -123,18 +138,20 @@ class QueryEngine:
         *,
         cache_rows: int = SpannerDistanceOracle.DEFAULT_CACHE_ROWS,
         shards: int = 0,
+        mmap: bool = True,
     ) -> "QueryEngine":
         """Load an artifact (``oracle`` or ``sketch``) and serve it.
 
         ``store`` is an :class:`~repro.service.store.ArtifactStore` or a
-        path to one.
+        path to one.  ``mmap=True`` (default) serves straight off memmap
+        views of the artifact files; see :meth:`ArtifactStore.load`.
         """
         from .store import ArtifactStore
 
         if not isinstance(store, ArtifactStore):
             store = ArtifactStore(store)
         info = store.info(key)
-        backend = store.load(key)
+        backend = store.load(key, mmap=mmap)
         meta = {"artifact_key": key, "artifact_kind": info.kind, **info.meta}
         return cls(backend, cache_rows=cache_rows, shards=shards, meta=meta)
 
@@ -143,11 +160,16 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            g = self.graph
+            if self._shared is None:
+                # Pack the graph (edge arrays + scipy CSR) into one shared
+                # segment and re-point the serial path at the same views,
+                # so parent + N workers together map one physical copy.
+                self._shared = SharedGraphBuffers.create(self.graph)
+                self.graph = self._shared.graph()
             self._pool = ProcessPoolExecutor(
                 max_workers=self.shards,
                 initializer=_init_worker,
-                initargs=(g.n, g.edges_u, g.edges_v, g.edges_w),
+                initargs=(self._shared.descriptor(),),
             )
         return self._pool
 
@@ -226,11 +248,39 @@ class QueryEngine:
             **({"meta": self.meta} if self.meta else {}),
         }
 
+    def worker_memstats(self, *, settle_s: float = 0.05) -> list[dict]:
+        """Per-worker memory snapshots (one dict per distinct worker pid).
+
+        Starts the pool if needed.  Oversubscribes short probe tasks so
+        every worker is sampled despite executor scheduling; the scale
+        benchmark uses this to enforce the O(graph + ε) worker-memory gate.
+        """
+        if self.shards < 2:
+            return []
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_worker_memstats, settle_s) for _ in range(4 * self.shards)
+        ]
+        by_pid: dict[int, dict] = {}
+        for f in futures:
+            snap = f.result()
+            by_pid[snap["pid"]] = snap
+        return [by_pid[pid] for pid in sorted(by_pid)]
+
     def close(self) -> None:
-        """Shut down the shard worker pool (idempotent)."""
+        """Shut down the shard worker pool and unlink the shared-memory
+        segment (idempotent; also runs via atexit if forgotten).
+
+        Serial queries keep working afterwards: unlink removes the segment
+        *name*, while this process's mapping — and therefore the engine's
+        graph views — stays valid until the process exits.
+        """
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._shared is not None:
+            self._shared.destroy()
+            self._shared = None
 
     def __enter__(self) -> "QueryEngine":
         return self

@@ -1,0 +1,83 @@
+"""Process-memory accounting for the serving and benchmark layers.
+
+Two complementary numbers, both cheap enough to sample inline:
+
+``peak_rss_bytes``
+    The high-water RSS of the calling process.  Monotone over the process
+    lifetime, which makes it the right phase marker for the scale
+    benchmark (sample it after build, after load, after query and read
+    the deltas).  Prefers ``VmHWM`` from ``/proc/self/status``: Linux
+    does **not** reset ``ru_maxrss`` across ``fork``/``exec``, so a
+    freshly spawned subprocess inherits its parent's peak and
+    ``getrusage`` overstates small children; ``VmHWM`` belongs to the
+    process's own address space and resets on exec.  Falls back to
+    ``getrusage`` where ``/proc`` is unavailable.
+
+``private_bytes`` / ``pss_bytes`` / ``rss_bytes``
+    Parsed from ``/proc/self/smaps_rollup`` (Linux).  RSS counts a shared
+    page once *per mapping process*, so under shared-memory sharding the
+    sum of worker RSS wildly overstates physical use; ``Private_Clean +
+    Private_Dirty`` is the memory a worker actually adds beyond the shared
+    segment, and is what the O(graph + shards·ε) gate measures.  ``None``
+    on platforms without smaps_rollup.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+
+__all__ = ["process_memory", "peak_rss_bytes"]
+
+_SMAPS = "/proc/self/smaps_rollup"
+
+
+def peak_rss_bytes() -> int:
+    """High-water RSS of the calling process, in bytes.
+
+    ``VmHWM`` from ``/proc/self/status`` when available (it resets on
+    exec, unlike ``ru_maxrss``), else ``getrusage`` (reported in KiB).
+    """
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:  # pragma: no cover - non-Linux fallback
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def _smaps_rollup() -> dict[str, int] | None:
+    try:
+        with open(_SMAPS) as fh:
+            lines = fh.readlines()
+    except OSError:  # pragma: no cover - non-Linux fallback
+        return None
+    out: dict[str, int] = {}
+    for line in lines:
+        parts = line.split()
+        if len(parts) >= 3 and parts[0].endswith(":") and parts[2] == "kB":
+            out[parts[0][:-1]] = int(parts[1]) * 1024
+    return out
+
+
+def process_memory() -> dict:
+    """Memory snapshot of the calling process (JSON-ready).
+
+    Keys: ``pid``, ``peak_rss_bytes``, and — when smaps_rollup exists —
+    ``rss_bytes``, ``pss_bytes`` and ``private_bytes`` (else ``None``).
+    """
+    snap: dict = {"pid": os.getpid(), "peak_rss_bytes": peak_rss_bytes()}
+    rollup = _smaps_rollup()
+    if rollup is None:  # pragma: no cover - non-Linux fallback
+        snap.update({"rss_bytes": None, "pss_bytes": None, "private_bytes": None})
+    else:
+        snap["rss_bytes"] = rollup.get("Rss")
+        snap["pss_bytes"] = rollup.get("Pss")
+        private = rollup.get("Private_Clean"), rollup.get("Private_Dirty")
+        snap["private_bytes"] = (
+            None if private[0] is None and private[1] is None
+            else (private[0] or 0) + (private[1] or 0)
+        )
+    return snap

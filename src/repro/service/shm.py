@@ -1,0 +1,191 @@
+"""One physical copy of a graph's arrays, shared across shard workers.
+
+:class:`SharedGraphBuffers` packs everything a shard worker touches into a
+single named ``multiprocessing.shared_memory`` segment:
+
+* the canonical edge arrays ``u``, ``v``, ``w`` (whatever dtype the graph
+  holds — int32 artifacts stay int32), and
+* the scipy CSR triplet ``data`` / ``indices`` / ``indptr`` of
+  :meth:`~repro.graphs.graph.WeightedGraph.to_scipy`.
+
+The CSR triplet is the load-bearing part: ``batched_sssp`` runs on the
+scipy matrix, and without sharing it every worker would rebuild a private
+copy about as large as the graph itself — exactly the O(shards × graph)
+blowup this module removes.  Workers :meth:`attach` by name and rebuild a
+zero-copy :class:`WeightedGraph` over the views
+(``csr_matrix((data, indices, indptr), copy=False)`` shares all three
+arrays verbatim, which is why the parent's own CSR arrays — already in
+scipy's chosen dtypes — are what gets packed).
+
+Lifecycle: the creating process owns the segment and must call
+:meth:`destroy` (or rely on the atexit hook) to ``unlink`` it; attached
+processes never unlink.  ``unlink`` removes the ``/dev/shm`` name — the
+physical pages survive until every process unmaps, so live numpy views
+stay valid after destroy.  ``SharedMemory.close`` refuses (BufferError)
+while views are alive; :meth:`destroy` tolerates that, the mapping simply
+dies with the process.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+from multiprocessing import shared_memory
+
+import numpy as np
+from scipy import sparse
+
+from ..graphs.graph import WeightedGraph
+
+__all__ = ["SharedGraphBuffers", "shm_segments", "SHM_PREFIX"]
+
+#: /dev/shm segment name prefix; tests sweep for leaks with this.
+SHM_PREFIX = "repro-graph-"
+
+_ALIGN = 64  # byte alignment of each packed array
+
+
+class SharedGraphBuffers:
+    """A named shared-memory segment holding one graph's arrays."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, n: int, layout, *, owner: bool):
+        self._shm = shm
+        self._n = int(n)
+        # layout: list of (name, dtype_str, shape, byte_offset)
+        self._layout = [(nm, dt, tuple(sh), int(off)) for nm, dt, sh, off in layout]
+        self._owner = bool(owner)
+        self._destroyed = False
+        if owner:
+            atexit.register(self.destroy)
+        else:
+            atexit.register(self._close_quiet)
+
+    # ------------------------------------------------------------------
+    # Creation / attachment
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, g: WeightedGraph) -> "SharedGraphBuffers":
+        """Pack ``g``'s edge arrays + scipy CSR into a fresh segment."""
+        arrays = {
+            "u": np.ascontiguousarray(g.edges_u),
+            "v": np.ascontiguousarray(g.edges_v),
+            "w": np.ascontiguousarray(g.edges_w),
+        }
+        if g.m:
+            mat = g.to_scipy()
+            arrays["csr_data"] = np.ascontiguousarray(mat.data)
+            arrays["csr_indices"] = np.ascontiguousarray(mat.indices)
+            arrays["csr_indptr"] = np.ascontiguousarray(mat.indptr)
+        layout = []
+        offset = 0
+        for name, arr in arrays.items():
+            offset = (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+            layout.append((name, arr.dtype.str, arr.shape, offset))
+            offset += arr.nbytes
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(offset, 1), name=SHM_PREFIX + secrets.token_hex(6)
+        )
+        self = cls(shm, g.n, layout, owner=True)
+        views = self._views()
+        for name, arr in arrays.items():
+            views[name][...] = arr
+        return self
+
+    @classmethod
+    def attach(cls, descriptor: dict) -> "SharedGraphBuffers":
+        """Attach to a segment created elsewhere (see :meth:`descriptor`).
+
+        Attaching re-registers the name with the (fork-shared) resource
+        tracker; registrations are a set, so the owner's single ``unlink``
+        still retires it cleanly.
+        """
+        shm = shared_memory.SharedMemory(name=descriptor["name"])
+        return cls(shm, descriptor["n"], descriptor["layout"], owner=False)
+
+    def descriptor(self) -> dict:
+        """Picklable handle a worker passes to :meth:`attach`."""
+        return {"name": self._shm.name, "n": self._n, "layout": list(self._layout)}
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def _views(self) -> dict[str, np.ndarray]:
+        return {
+            name: np.ndarray(shape, dtype=np.dtype(dt), buffer=self._shm.buf, offset=off)
+            for name, dt, shape, off in self._layout
+        }
+
+    def graph(self) -> WeightedGraph:
+        """Zero-copy :class:`WeightedGraph` over the shared views, with the
+        scipy CSR cache preloaded from the shared triplet."""
+        views = self._views()
+        mat = None
+        if "csr_data" in views:
+            mat = sparse.csr_matrix(
+                (views["csr_data"], views["csr_indices"], views["csr_indptr"]),
+                shape=(self._n, self._n),
+                copy=False,
+            )
+        return WeightedGraph.from_canonical(
+            self._n, views["u"], views["v"], views["w"], scipy_csr=mat
+        )
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes (the one physical copy every process maps)."""
+        return sum(
+            int(np.prod(shape, dtype=np.int64)) * np.dtype(dt).itemsize
+            for _, dt, shape, _ in self._layout
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _close_quiet(self) -> None:
+        try:
+            self._shm.close()
+        except BufferError:
+            # Live numpy views still reference the buffer; the mapping is
+            # released when the process (or the views) go away.
+            pass
+
+    def destroy(self) -> None:
+        """Owner-side teardown: unlink the segment name (idempotent).
+
+        Safe while views are alive — the name disappears from /dev/shm
+        immediately, the pages only once every mapping is gone.
+        """
+        if self._destroyed:
+            return
+        self._destroyed = True
+        atexit.unregister(self.destroy)
+        atexit.unregister(self._close_quiet)
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._close_quiet()
+
+    def close(self) -> None:
+        """Attached-side teardown: drop this process's mapping (idempotent)."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        atexit.unregister(self._close_quiet)
+        self._close_quiet()
+
+
+def shm_segments() -> list[str]:
+    """Names of live repro shared-memory segments (for leak checks)."""
+    try:
+        return sorted(
+            name for name in os.listdir("/dev/shm") if name.startswith(SHM_PREFIX)
+        )
+    except OSError:  # pragma: no cover - non-Linux fallback
+        return []

@@ -6,8 +6,18 @@ in a sweep, and the cheap query structures should then be loadable by any
 serving process.  :class:`ArtifactStore` is that boundary — a directory of
 self-contained artifacts, one per key::
 
-    <root>/<key>/manifest.json    # format version, kind, metadata
-    <root>/<key>/arrays.npz       # the numpy payload (bit-exact)
+    <root>/<key>/manifest.json       # format version, kind, metadata
+    <root>/<key>/arrays/<name>.npy   # one raw aligned .npy per array
+
+Arrays are stored as individual *uncompressed* ``.npy`` files (format v2;
+v1 ``arrays.npz`` artifacts are still read), so :meth:`ArtifactStore.load`
+defaults to handing back ``np.memmap`` views — opening an artifact costs
+page-table entries, not a copy, and every process mapping the same
+artifact shares physical pages through the OS page cache.  Pass
+``mmap=False`` for the old eager, writable arrays.  Index arrays whose
+values fit are downcast to int32 once, at save time (the serving layers
+preserve the dtype end to end), halving the index footprint for every
+graph with ``n < 2**31``.
 
 Two artifact kinds:
 
@@ -53,11 +63,41 @@ from ..graphs.io import GRAPH_NPZ_VERSION
 __all__ = ["ArtifactStore", "ArtifactInfo", "config_key", "STORE_FORMAT_VERSION"]
 
 #: Manifest schema version; bumped on layout changes.
-STORE_FORMAT_VERSION = 1
+#: v1: one compressed ``arrays.npz``.  v2: raw per-array ``.npy`` files
+#: under ``arrays/`` (memmap-able) with index arrays downcast to int32
+#: when their values fit.
+STORE_FORMAT_VERSION = 2
 
 _KINDS = ("oracle", "sketch")
 _MANIFEST = "manifest.json"
-_ARRAYS = "arrays.npz"
+_ARRAYS = "arrays.npz"  # v1 payload, read-compatible
+_ARRAYS_DIR = "arrays"
+
+#: Arrays holding vertex ids / CSR offsets — eligible for the int32
+#: downcast.  Float payloads and the format scalars are never touched.
+_INDEX_ARRAYS = frozenset(
+    {"u", "v", "levels_flat", "level_sizes", "pivot", "bunch_indptr", "bunch_centers"}
+)
+
+
+def _downcast_index(arr: np.ndarray) -> np.ndarray:
+    """int64 -> int32 when every value fits (the ``n < 2**31`` rule —
+    endpoint/offset values are bounded by n and the arc count)."""
+    if arr.dtype != np.int64 or arr.size == 0:
+        return arr
+    info = np.iinfo(np.int32)
+    if int(arr.min()) < info.min or int(arr.max()) > info.max:
+        return arr
+    return arr.astype(np.int32)
+
+
+def _as_index(arr) -> np.ndarray:
+    """Pass int32/int64 through untouched (no copy, memmaps preserved);
+    normalize anything else to int64."""
+    arr = np.asarray(arr)
+    if arr.dtype in (np.int32, np.int64):
+        return arr
+    return arr.astype(np.int64, copy=False)
 
 
 def config_key(config: dict) -> str:
@@ -91,12 +131,14 @@ def _graph_payload(g: WeightedGraph) -> dict:
 
 
 def _graph_from_payload(data) -> WeightedGraph:
-    return WeightedGraph(
+    # Saved arrays are already canonical (they came out of a WeightedGraph),
+    # so adopt them without the dedupe sort/copy; int32 artifacts stay
+    # int32, and memmap-backed views stay memmaps (copy=False throughout).
+    return WeightedGraph.from_canonical(
         int(data["n"]),
-        data["u"].astype(np.int64),
-        data["v"].astype(np.int64),
-        data["w"].astype(np.float64),
-        validate=False,
+        _as_index(data["u"]),
+        _as_index(data["v"]),
+        np.asarray(data["w"]).astype(np.float64, copy=False),
     )
 
 
@@ -167,14 +209,22 @@ class ArtifactStore:
             shutil.rmtree(tmp)
         tmp.mkdir()
         try:
-            with (tmp / _ARRAYS).open("wb") as fh:
-                np.savez_compressed(fh, **arrays)
+            adir = tmp / _ARRAYS_DIR
+            adir.mkdir()
+            names = []
+            for name, value in arrays.items():
+                arr = np.asarray(value)
+                if name in _INDEX_ARRAYS:
+                    arr = _downcast_index(arr)
+                np.save(adir / f"{name}.npy", arr)
+                names.append(name)
             manifest = {
                 "format_version": STORE_FORMAT_VERSION,
                 "kind": kind,
                 "key": key,
                 "meta": meta,
-                "arrays": _ARRAYS,
+                "arrays": _ARRAYS_DIR,
+                "array_names": sorted(names),
             }
             (tmp / _MANIFEST).write_text(
                 json.dumps(manifest, indent=2, sort_keys=True) + "\n"
@@ -271,54 +321,75 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
-    def load(self, key: str, *, cache_rows: int | None = None):
+    def _read_arrays(self, info: ArtifactInfo, *, mmap: bool) -> dict:
+        """The artifact's array payload as a name -> array dict.
+
+        v2 artifacts come back as lazy ``np.memmap`` views when ``mmap``
+        (one physical copy across all loading processes, courtesy of the
+        page cache); v1 ``arrays.npz`` payloads are compressed and load
+        eagerly regardless.
+        """
+        path = Path(info.path)
+        legacy = path / _ARRAYS
+        if legacy.is_file():
+            with np.load(legacy) as data:
+                return {name: data[name] for name in data.files}
+        mode = "r" if mmap else None
+        return {
+            p.stem: np.load(p, mmap_mode=mode)
+            for p in sorted((path / _ARRAYS_DIR).glob("*.npy"))
+        }
+
+    def load(self, key: str, *, cache_rows: int | None = None, mmap: bool = True):
         """Reconstruct the query structure behind ``key``.
 
         Returns a :class:`SpannerDistanceOracle` (``oracle`` artifacts) or
         a :class:`DistanceSketch` (``sketch`` artifacts); both answer
         queries bit-identically to the object that was saved.
+
+        With ``mmap=True`` (default) the arrays are read-only memmap views
+        over the artifact files — loading is lazy and N serving processes
+        share one physical copy.  ``mmap=False`` materializes private,
+        writable arrays (the old eager behaviour).
         """
         info = self.info(key)
-        with np.load(Path(info.path) / _ARRAYS) as data:
-            g = _graph_from_payload(data)
-            if info.kind == "oracle":
-                kwargs = {}
-                if cache_rows is not None:
-                    kwargs["cache_rows"] = cache_rows
-                t = info.meta.get("t")
-                return SpannerDistanceOracle.from_spanner(
-                    g,
-                    int(info.meta["k"]),
-                    None if t is None else int(t),
-                    t_effective=int(info.meta["t_effective"]),
-                    **kwargs,
-                )
-            sizes = data["level_sizes"]
-            flat = data["levels_flat"]
-            bounds = np.concatenate([[0], np.cumsum(sizes)])
-            levels = [
-                flat[bounds[i] : bounds[i + 1]].astype(np.int64)
-                for i in range(sizes.size)
-            ]
-            return DistanceSketch.from_arrays(
+        data = self._read_arrays(info, mmap=mmap)
+        g = _graph_from_payload(data)
+        if info.kind == "oracle":
+            kwargs = {}
+            if cache_rows is not None:
+                kwargs["cache_rows"] = cache_rows
+            t = info.meta.get("t")
+            return SpannerDistanceOracle.from_spanner(
                 g,
-                int(data["k"]),
-                levels,
-                data["pivot"],
-                data["pivot_dist"],
-                data["bunch_indptr"],
-                data["bunch_centers"],
-                data["bunch_dists"],
+                int(info.meta["k"]),
+                None if t is None else int(t),
+                t_effective=int(info.meta["t_effective"]),
+                **kwargs,
             )
+        sizes = np.asarray(data["level_sizes"])
+        flat = _as_index(data["levels_flat"])
+        bounds = np.concatenate([[0], np.cumsum(sizes, dtype=np.int64)])
+        levels = [flat[bounds[i] : bounds[i + 1]] for i in range(sizes.size)]
+        return DistanceSketch.from_arrays(
+            g,
+            int(data["k"]),
+            levels,
+            data["pivot"],
+            data["pivot_dist"],
+            data["bunch_indptr"],
+            data["bunch_centers"],
+            data["bunch_dists"],
+        )
 
-    def load_oracle(self, key: str, *, cache_rows: int | None = None):
-        obj = self.load(key, cache_rows=cache_rows)
+    def load_oracle(self, key: str, *, cache_rows: int | None = None, mmap: bool = True):
+        obj = self.load(key, cache_rows=cache_rows, mmap=mmap)
         if not isinstance(obj, SpannerDistanceOracle):
             raise ValueError(f"artifact {key!r} is a {self.info(key).kind}, not an oracle")
         return obj
 
-    def load_sketch(self, key: str):
-        obj = self.load(key)
+    def load_sketch(self, key: str, *, mmap: bool = True):
+        obj = self.load(key, mmap=mmap)
         if not isinstance(obj, DistanceSketch):
             raise ValueError(f"artifact {key!r} is a {self.info(key).kind}, not a sketch")
         return obj

@@ -1,0 +1,98 @@
+"""Tier-1 smoke wiring for the scale (memory-footprint) benchmark.
+
+Runs ``benchmarks/bench_scale.py`` in smoke mode on every test run: the
+bench asserts the zero-copy serving invariants — sharded == serial,
+mmap == eager loads, loaded == freshly built — *and* the worker
+shared-memory gate (combined worker private bytes beyond the baseline
+heap stay under ``SCALE_GATE`` x one graph footprint after the fixed
+per-worker allowance), so a memory regression fails the suite before
+anyone reads BENCH_scale.json.  Gate logic is also exercised as pure
+functions on synthetic records.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+
+BENCH_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks"
+)
+if BENCH_DIR not in sys.path:
+    sys.path.insert(0, BENCH_DIR)
+
+from bench_scale import (  # noqa: E402
+    SCALE_GATE,
+    format_table,
+    graph_footprint,
+    identity_gate,
+    probe_pairs,
+    run_scale_bench,
+    scale_gate,
+)
+
+
+def test_scale_bench_smoke():
+    record = run_scale_bench(smoke=True)
+    ok, reasons = identity_gate(record)
+    assert ok, reasons
+    # The memory gate is not timing-based, so it holds at smoke scale too
+    # (it skips itself with a reason where smaps_rollup is unavailable).
+    ok, reasons = scale_gate(record)
+    assert ok, reasons
+    point = record["points"]["scale"]
+    assert point["graph"]["endpoint_dtype"] == "int32"  # store downcast
+    assert point["save"]["store_bytes"] > 0
+    assert point["build"]["peak_rss_bytes"] > 0
+    assert "scale bench" in format_table(record)
+
+
+def test_scale_gate_logic():
+    def rec(ratio, legacy=None):
+        return {
+            "points": {
+                "p": {"memory": {"overhead_ratio": ratio, "legacy_overhead_ratio": legacy}}
+            }
+        }
+
+    ok, reasons = scale_gate(rec(SCALE_GATE / 2, legacy=4.0))
+    assert ok and "meets" in reasons[0] and "legacy" in reasons[0]
+    ok, reasons = scale_gate(rec(SCALE_GATE * 2))
+    assert not ok and "EXCEEDS" in reasons[0]
+    ok, reasons = scale_gate(rec(None))  # non-Linux: no private-bytes accounting
+    assert ok and "skipped" in reasons[0]
+
+
+def test_identity_gate_logic():
+    bad = {
+        "points": {
+            "p": {
+                "serve": {"sharded_identical": True},
+                "load": {"mmap_eager_identical": False, "loaded_matches_built": True},
+            }
+        }
+    }
+    ok, reasons = identity_gate(bad)
+    assert not ok
+    assert any("p.mmap_eager_identical: FAILED" in r for r in reasons)
+
+
+def test_probe_pairs_bounded_sources_and_deterministic():
+    pairs = probe_pairs(10_000, 500, 8, 3)
+    assert pairs.shape == (500, 2)
+    assert np.unique(pairs[:, 0]).size <= 8  # bounded row volume
+    assert np.array_equal(pairs, probe_pairs(10_000, 500, 8, 3))
+
+
+def test_graph_footprint_matches_shared_segment():
+    from repro.graphs import erdos_renyi
+    from repro.service import SharedGraphBuffers
+
+    g = erdos_renyi(120, 0.1, weights="uniform", rng=0)
+    buf = SharedGraphBuffers.create(g)
+    try:
+        assert graph_footprint(g) == buf.nbytes
+    finally:
+        buf.destroy()

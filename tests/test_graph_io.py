@@ -99,6 +99,24 @@ class TestGraphNpz:
         g2 = read_graph_npz(path)
         assert g2.n == 4 and g2.m == 0
 
+    def test_mmap_round_trip_bit_exact(self, g, tmp_path):
+        path = tmp_path / "g.npz"
+        write_graph_npz(g, path)  # uncompressed default: members can memmap
+        g2 = read_graph_npz(path, mmap_mode="r")
+        assert g2 == g
+        assert np.array_equal(g2.edges_w, g.edges_w)
+        # The lazy path really is file-backed, not a materialized copy.
+        assert any(
+            isinstance(arr, np.memmap) or isinstance(arr.base, np.memmap)
+            for arr in (g2.edges_u, g2.edges_v, g2.edges_w)
+        )
+
+    def test_mmap_of_compressed_npz_falls_back_to_eager(self, g, tmp_path):
+        path = tmp_path / "g.npz"
+        write_graph_npz(g, path, compressed=True)
+        g2 = read_graph_npz(path, mmap_mode="r")  # deflated: no mmap possible
+        assert g2 == g
+
     def test_foreign_payload_rejected(self, tmp_path):
         path = tmp_path / "other.npz"
         np.savez(path, something=np.arange(3))

@@ -112,6 +112,72 @@ class TestArtifactStore:
         with pytest.raises(ValueError, match="unsupported"):
             store.info(key)
 
+    def test_mmap_load_is_file_backed_and_identical(self, oracle, pairs, tmp_path):
+        """The default load hands back memmap views (one physical copy per
+        artifact across processes); eager load stays available and both
+        answer bit-identically."""
+        store = ArtifactStore(tmp_path)
+        key = store.save_oracle(oracle)
+        lazy = store.load_oracle(key)  # mmap=True default
+        eager = store.load_oracle(key, mmap=False)
+
+        def file_backed(arr):
+            import mmap as mmap_mod
+
+            base = arr
+            while isinstance(base, np.ndarray):
+                if isinstance(base, np.memmap):
+                    return True
+                base = base.base
+            return isinstance(base, mmap_mod.mmap)
+
+        assert file_backed(lazy.spanner.edges_u)
+        assert not file_backed(eager.spanner.edges_u)
+        assert eager.spanner.edges_u.flags.writeable
+        got = lazy.query_many(pairs)
+        assert np.array_equal(got, eager.query_many(pairs))
+        assert np.array_equal(got, oracle.query_many(pairs))
+
+    def test_index_arrays_downcast_to_int32(self, oracle, sketch, tmp_path):
+        """Save-time downcast: every index array of a small-n artifact is
+        stored (and served) as int32; float payloads stay float64."""
+        store = ArtifactStore(tmp_path)
+        ko = store.save_oracle(oracle)
+        ks = store.save_sketch(sketch)
+        assert np.load(tmp_path / ko / "arrays" / "u.npy").dtype == np.int32
+        assert np.load(tmp_path / ko / "arrays" / "w.npy").dtype == np.float64
+        assert np.load(tmp_path / ks / "arrays" / "bunch_centers.npy").dtype == np.int32
+        loaded = store.load_sketch(ks)
+        assert loaded.bunch_centers.dtype == np.int32
+        assert loaded.pivot.dtype == np.int32
+        assert loaded.g.edges_u.dtype == np.int32
+
+    def test_v1_npz_artifact_still_loads(self, oracle, pairs, tmp_path):
+        """Artifacts written by the v1 (compressed arrays.npz) layout load
+        transparently and answer bit-identically."""
+        store = ArtifactStore(tmp_path)
+        key = store.save_oracle(oracle)
+        # Rewrite the artifact in the legacy layout by hand.
+        adir = tmp_path / key / "arrays"
+        arrays = {p.stem: np.load(p) for p in adir.glob("*.npy")}
+        arrays = {
+            name: a.astype(np.int64) if a.dtype == np.int32 else a
+            for name, a in arrays.items()
+        }
+        import shutil
+
+        shutil.rmtree(adir)
+        with (tmp_path / key / "arrays.npz").open("wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        manifest_path = tmp_path / key / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 1
+        manifest["arrays"] = "arrays.npz"
+        manifest.pop("array_names", None)
+        manifest_path.write_text(json.dumps(manifest))
+        loaded = store.load_oracle(key)
+        assert np.array_equal(oracle.query_many(pairs), loaded.query_many(pairs))
+
     def test_config_key_deterministic(self):
         a = config_key({"algorithm": "general", "k": 4, "graph": "er:64:0.2"})
         b = config_key({"graph": "er:64:0.2", "k": 4, "algorithm": "general"})
@@ -179,6 +245,18 @@ class TestQueryEngine:
         assert np.array_equal(es.query_many(pairs), sketch.query_many(pairs))
         assert eo.meta["artifact_kind"] == "oracle"
         assert es.meta["artifact_kind"] == "sketch"
+
+    def test_mmap_sharded_from_store_matches_serial(self, oracle, pairs, tmp_path):
+        """The full zero-copy stack — memmapped int32 artifact, serial
+        parent, shared-memory shard workers — answers bit-identically to
+        the freshly built oracle."""
+        store = ArtifactStore(tmp_path)
+        key = store.save_oracle(oracle)
+        expected = oracle.query_many(pairs)
+        with QueryEngine.from_store(store, key, shards=2) as sharded:
+            assert np.array_equal(sharded.query_many(pairs), expected)
+        eager_serial = QueryEngine.from_store(store, key, mmap=False)
+        assert np.array_equal(eager_serial.query_many(pairs), expected)
 
     def test_input_validation(self, oracle):
         engine = QueryEngine(oracle)

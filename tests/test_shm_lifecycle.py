@@ -1,0 +1,182 @@
+"""Shared-memory lifecycle tests for the sharded query engine.
+
+The zero-copy sharding refactor attaches every shard worker to one named
+``/dev/shm`` segment (:class:`repro.service.shm.SharedGraphBuffers`).
+The contract pinned here: :meth:`QueryEngine.close` — and interpreter
+exit, via the atexit hook — unlinks every segment the engine created; no
+segment leaks across repeated open/close cycles, across the exception
+path where a worker dies mid-solve, or across an unclean exit that never
+called ``close()``; and none of it produces resource-tracker noise on
+stderr.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.distances import SpannerDistanceOracle
+from repro.graphs import erdos_renyi
+from repro.service import QueryEngine, SharedGraphBuffers
+from repro.service.shm import shm_segments
+
+
+@pytest.fixture(scope="module")
+def g():
+    return erdos_renyi(150, 0.08, weights="uniform", rng=5)
+
+
+@pytest.fixture(scope="module")
+def pairs(g):
+    return np.random.default_rng(3).integers(0, g.n, size=(300, 2))
+
+
+class TestSharedGraphBuffers:
+    def test_attach_graph_is_zero_copy(self, g):
+        buf = SharedGraphBuffers.create(g)
+        try:
+            peer = SharedGraphBuffers.attach(buf.descriptor())
+            h = peer.graph()
+            assert h == g
+            # The rebuilt graph's scipy CSR is the shared triplet, not a
+            # private rebuild — this is where O(shards x graph) used to go.
+            mat = h.to_scipy()
+            views = peer._views()
+            assert np.shares_memory(mat.data, views["csr_data"])
+            assert np.shares_memory(mat.indices, views["csr_indices"])
+            assert np.shares_memory(mat.indptr, views["csr_indptr"])
+            assert np.shares_memory(h.edges_u, views["u"])
+            peer.close()
+        finally:
+            buf.destroy()
+        assert buf.name not in shm_segments()
+
+    def test_nbytes_counts_payload(self, g):
+        buf = SharedGraphBuffers.create(g)
+        try:
+            mat = g.to_scipy()
+            expected = sum(
+                a.nbytes
+                for a in (
+                    g.edges_u, g.edges_v, g.edges_w,
+                    mat.data, mat.indices, mat.indptr,
+                )
+            )
+            assert buf.nbytes == expected
+        finally:
+            buf.destroy()
+
+    def test_destroy_idempotent(self, g):
+        buf = SharedGraphBuffers.create(g)
+        buf.destroy()
+        buf.destroy()
+        assert buf.name not in shm_segments()
+
+    def test_edgeless_graph_supported(self):
+        from repro.graphs import WeightedGraph
+
+        empty = WeightedGraph.from_edges(7, [])
+        buf = SharedGraphBuffers.create(empty)
+        try:
+            assert SharedGraphBuffers.attach(buf.descriptor()).graph() == empty
+        finally:
+            buf.destroy()
+
+
+class TestEngineLifecycle:
+    def test_repeated_open_close_cycles_leak_nothing(self, g, pairs):
+        before = shm_segments()
+        expected = None
+        for _ in range(3):
+            with QueryEngine(SpannerDistanceOracle(g, k=4, t=2, rng=0), shards=2) as e:
+                got = e.query_many(pairs)
+                if expected is None:
+                    expected = got
+                assert np.array_equal(got, expected)
+            assert shm_segments() == before
+        assert shm_segments() == before
+
+    def test_close_idempotent_and_serial_afterwards(self, g, pairs):
+        e = QueryEngine(g, shards=2)
+        sharded = e.query_many(pairs)
+        e.close()
+        e.close()
+        # unlink removes the name; this process's mapping stays valid, so
+        # the engine keeps answering (serially, and bit-identically).
+        assert np.array_equal(e.query_many(pairs), sharded)
+
+    def test_worker_death_mid_solve_still_unlinks(self, g, pairs):
+        before = shm_segments()
+        e = QueryEngine(g, shards=2)
+        e.query_many(pairs[:50])
+        assert len(shm_segments()) == len(before) + 1
+        e._pool.submit(os._exit, 3)
+        with pytest.raises(BrokenProcessPool):
+            # Retry loop: the pool may break on the probe task or on the
+            # first real submit after the worker dies.
+            for seed in range(10):
+                fresh = np.random.default_rng(seed).integers(0, g.n, size=(80, 2))
+                e.query_many(fresh)
+        e.close()
+        assert shm_segments() == before
+        # And a fresh engine comes back with a new pool + segment.
+        expected = QueryEngine(g).query_many(pairs)  # serial: no segment
+        e2 = QueryEngine(g, shards=2)
+        try:
+            assert np.array_equal(e2.query_many(pairs), expected)
+        finally:
+            e2.close()
+        assert shm_segments() == before
+
+    def test_worker_memstats_one_snapshot_per_worker(self, g, pairs):
+        with QueryEngine(g, shards=2) as e:
+            e.query_many(pairs)
+            stats = e.worker_memstats()
+            assert 1 <= len(stats) <= 2
+            assert all(s["pid"] != os.getpid() for s in stats)
+            assert all(s["peak_rss_bytes"] > 0 for s in stats)
+        assert QueryEngine(g).worker_memstats() == []  # serial: no pool
+
+
+class TestInterpreterExit:
+    def test_exit_without_close_unlinks_and_stays_quiet(self, tmp_path):
+        """A process that never calls close() must still leave /dev/shm
+        clean (atexit) and emit no resource-tracker warnings."""
+        script = textwrap.dedent(
+            """
+            import numpy as np
+            from repro.graphs import erdos_renyi
+            from repro.service import QueryEngine
+            from repro.service.shm import shm_segments
+
+            g = erdos_renyi(120, 0.1, weights="uniform", rng=0)
+            engine = QueryEngine(g, shards=2)
+            pairs = np.random.default_rng(0).integers(0, g.n, size=(60, 2))
+            engine.query_many(pairs)
+            print("LIVE", len(shm_segments()))
+            # no close(): atexit owns the cleanup
+            """
+        )
+        before = shm_segments()
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "LIVE 1" in proc.stdout
+        assert shm_segments() == before
+        for noise in ("resource_tracker", "leaked", "Traceback"):
+            assert noise not in proc.stderr, proc.stderr
