@@ -24,6 +24,10 @@ Suites and their artifacts:
   serving path: peak RSS per phase, the O(graph + eps) worker-memory
   gate vs the legacy per-worker-copy recipe, mmap vs eager loads; see
   benchmarks/bench_scale.py)
+* ``server``   -> ``BENCH_server.json`` (open-loop load on the concurrent
+  micro-batching socket server: offered-rate sweep with tail latencies,
+  the >= 5x micro-vs-naive duel, reply bit-identity, graceful-drain shm
+  hygiene; see ``repro serve --socket`` and benchmarks/bench_server.py)
 
 ``--suite full`` regenerates every snapshot in one invocation and prints
 a compact trajectory diff against the previously committed files.
@@ -49,6 +53,7 @@ OUT_PATHS = {
     "suite": "BENCH_suite.json",
     "service": "BENCH_service.json",
     "scale": "BENCH_scale.json",
+    "server": "BENCH_server.json",
 }
 
 
@@ -152,12 +157,40 @@ def _run_scale(args, out_path: str) -> tuple[int, dict]:
     return rc, record
 
 
+def _run_server(args, out_path: str) -> tuple[int, dict]:
+    from bench_server import (
+        drain_gate,
+        format_table,
+        identity_gate,
+        run_server_bench,
+        speedup_gate,
+    )
+
+    record = run_server_bench(smoke=args.smoke)
+    print(format_table(record))
+    _write(record, out_path)
+
+    rc = 0
+    ok, reason = speedup_gate(record)
+    print(f"speedup gate: {reason}", file=sys.stdout if ok else sys.stderr)
+    if not ok:
+        rc = 1
+    for gate in (identity_gate, drain_gate):
+        ok, reasons = gate(record)
+        for reason in reasons:
+            print(f"{gate.__name__}: {reason}", file=sys.stdout if ok else sys.stderr)
+        if not ok:
+            rc = 1
+    return rc, record
+
+
 SUITES = {
     "distance": _run_distance,
     "runner": _run_runner,
     "suite": _run_suite,
     "service": _run_service,
     "scale": _run_scale,
+    "server": _run_server,
 }
 
 
@@ -203,6 +236,21 @@ def _trajectory_diff(name: str, old: dict | None, new: dict) -> list[str]:
                 f"  scale {point} worker-overhead: {_fmt(o, 'x')} -> {_fmt(n, 'x')} "
                 f"(legacy: {_fmt(ol, 'x')} -> {_fmt(nl, 'x')})"
             )
+    elif name == "server":
+        od = (old or {}).get("duel", {})
+        nd = new.get("duel", {})
+        o_top = max(
+            (p.get("achieved_qps") for p in (old or {}).get("sweep", [])),
+            default=None,
+        )
+        n_top = max(
+            (p.get("achieved_qps") for p in new.get("sweep", [])), default=None
+        )
+        lines.append(
+            f"  server duel speedup: {_fmt(od.get('speedup'), 'x')} -> "
+            f"{_fmt(nd.get('speedup'), 'x')}; top achieved qps: "
+            f"{_fmt(o_top)} -> {_fmt(n_top)}"
+        )
     elif name == "suite":
         old_algos = (old or {}).get("algorithms", {})
         for algo, rec in sorted(new.get("algorithms", {}).items()):

@@ -35,8 +35,12 @@ Commands
     ``build -> persist -> load -> query`` is one command), then run a
     pair workload through the batched/cached/sharded query engine.
 ``serve``
-    Same artifact resolution, then serve ``u v`` pairs line-by-line from
-    stdin to stdout — a process-pipe "server" that needs no network.
+    Same artifact resolution, then serve queries.  ``--socket HOST:PORT``
+    runs the concurrent micro-batching asyncio server (newline-delimited
+    JSON protocol, latency SLO stats, graceful drain on SIGINT/SIGTERM —
+    see :mod:`repro.service.server`); without it, the legacy pipe mode
+    answers ``u v`` pairs line-by-line from stdin to stdout, replying to
+    malformed lines with line-numbered JSON errors.
 
 Algorithms come from :mod:`repro.registry`; graphs are generated on the fly
 from ``--graph`` specs like ``er:512:0.06`` or loaded from disk with
@@ -574,28 +578,47 @@ def _cmd_query(args) -> int:
 def _cmd_serve(args) -> int:
     key, built, engine = _resolve_engine(args)
     status = "built + persisted" if built else "loaded"
+
+    if args.socket:
+        from .service.server import parse_hostport, run_server
+
+        try:
+            host, port = parse_hostport(args.socket)
+        except ValueError as exc:
+            engine.close()
+            raise SystemExit(str(exc)) from exc
+        if args.window_ms < 0:
+            engine.close()
+            raise SystemExit(f"--window-ms must be >= 0, got {args.window_ms}")
+        stats = run_server(
+            engine,
+            host=host,
+            port=port,
+            max_batch=args.max_batch,
+            window_s=args.window_ms / 1e3,
+            max_pending=args.max_pending,
+            announce=lambda h, p: print(
+                f"serving artifact {key} ({status}) on {h}:{p} "
+                f"(micro-batch window {args.window_ms}ms, max batch "
+                f"{args.max_batch}, max pending {args.max_pending}); "
+                f"SIGINT/SIGTERM drains",
+                file=sys.stderr,
+                flush=True,
+            ),
+        )
+        print(json.dumps(stats, sort_keys=True), file=sys.stderr)
+        return 0
+
+    from .service.server import serve_pipe
+
     print(
         f"serving artifact {key} ({status}); one 'u v' pair per line on stdin",
         file=sys.stderr,
     )
-    rc = 0
     with engine:
-        for line in sys.stdin:
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            parts = line.split()
-            try:
-                if len(parts) != 2:
-                    raise ValueError(f"expected 'u v', got {line!r}")
-                d = engine.query(int(parts[0]), int(parts[1]))
-            except ValueError as exc:
-                print(f"error: {exc}", file=sys.stderr)
-                rc = 1
-                continue
-            print(d, flush=True)
-        print(json.dumps(engine.stats(), sort_keys=True), file=sys.stderr)
-    return rc
+        result = serve_pipe(engine, sys.stdin, sys.stdout)
+        print(json.dumps(result["stats"], sort_keys=True), file=sys.stderr)
+    return 1 if result["errors"] else 0
 
 
 def _cmd_bench(args) -> int:
@@ -798,9 +821,37 @@ def make_parser() -> argparse.ArgumentParser:
     sp.set_defaults(fn=_cmd_query)
 
     sp = sub.add_parser(
-        "serve", help="serve 'u v' distance queries from stdin to stdout"
+        "serve",
+        help="serve distance queries: --socket HOST:PORT runs the "
+        "micro-batching asyncio server, default is the stdin/stdout pipe",
     )
     service_common(sp)
+    sp.add_argument(
+        "--socket",
+        default=None,
+        metavar="HOST:PORT",
+        help="run the concurrent NDJSON socket server instead of the pipe "
+        "(port 0 picks a free port, announced on stderr)",
+    )
+    sp.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        help="flush the micro-batch window at this many coalesced requests",
+    )
+    sp.add_argument(
+        "--window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch window deadline in milliseconds (solver-idle case)",
+    )
+    sp.add_argument(
+        "--max-pending",
+        type=int,
+        default=8192,
+        help="admission bound: queued requests beyond this are rejected "
+        "with an explicit 'overloaded' error",
+    )
     sp.set_defaults(fn=_cmd_serve)
 
     sp = sub.add_parser(

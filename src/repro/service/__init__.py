@@ -10,14 +10,19 @@ front ends.
 """
 
 from .engine import QueryEngine
+from .server import AsyncClient, QueryServer, run_server, serve_pipe
 from .shm import SharedGraphBuffers
 from .store import ArtifactInfo, ArtifactStore, STORE_FORMAT_VERSION, config_key
 
 __all__ = [
     "ArtifactInfo",
     "ArtifactStore",
+    "AsyncClient",
     "QueryEngine",
+    "QueryServer",
     "SharedGraphBuffers",
     "STORE_FORMAT_VERSION",
     "config_key",
+    "run_server",
+    "serve_pipe",
 ]

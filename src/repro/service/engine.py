@@ -32,6 +32,7 @@ uniform front end over both.
 from __future__ import annotations
 
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -126,6 +127,16 @@ class QueryEngine:
         self.queries_served = 0
         self.rows_solved = 0
         self.batches = 0
+        # Cumulative latency/batch accounting (the serving layer's SLO
+        # numbers come from here, one source of truth): total wall time
+        # inside query_many, total wall time inside row solves, rows
+        # attributable to query_many calls, a pairs-per-call histogram,
+        # and a bounded per-call log (pairs, rows, wall_s, solve_s).
+        self.query_many_wall_s = 0.0
+        self.solve_wall_s = 0.0
+        self.batch_rows_solved = 0
+        self._batch_pairs_hist: dict[int, int] = {}
+        self.call_log: deque[dict] = deque(maxlen=1024)
 
     # ------------------------------------------------------------------
     # Construction from persisted artifacts
@@ -176,17 +187,21 @@ class QueryEngine:
     def _solve_rows(self, missing: np.ndarray) -> np.ndarray:
         """Dense ``(len(missing), n)`` distance rows for the given sources."""
         self.rows_solved += int(missing.size)
-        if self.shards >= 2 and missing.size >= 2:
-            pool = self._ensure_pool()
-            chunks = [
-                c for c in np.array_split(missing, min(self.shards, missing.size))
-                if c.size
-            ]
-            futures = [pool.submit(_worker_rows, chunk) for chunk in chunks]
-            # np.array_split preserves order, so concatenation restores the
-            # original source order.
-            return np.concatenate([f.result() for f in futures], axis=0)
-        return batched_sssp(self.graph, missing)
+        start = time.perf_counter()
+        try:
+            if self.shards >= 2 and missing.size >= 2:
+                pool = self._ensure_pool()
+                chunks = [
+                    c for c in np.array_split(missing, min(self.shards, missing.size))
+                    if c.size
+                ]
+                futures = [pool.submit(_worker_rows, chunk) for chunk in chunks]
+                # np.array_split preserves order, so concatenation restores
+                # the original source order.
+                return np.concatenate([f.result() for f in futures], axis=0)
+            return batched_sssp(self.graph, missing)
+        finally:
+            self.solve_wall_s += time.perf_counter() - start
 
     def _row(self, source: int) -> np.ndarray:
         row = self._cache.get(source)
@@ -224,18 +239,42 @@ class QueryEngine:
             raise ValueError("vertex out of range")
         self.queries_served += pairs.shape[0]
         self.batches += 1
+        start = time.perf_counter()
+        rows_before = self.rows_solved
+        solve_before = self.solve_wall_s
         if self.sketch is not None:
-            return self.sketch.query_many(pairs)
-        # Shared planning with the oracle (repro.core.cache): one
-        # _solve_rows dispatch over the distinct missing sources — sharded
-        # across the worker pool when configured — with every row cached.
-        return answer_pairs_cached(self._cache, pairs, self._solve_rows)
+            out = self.sketch.query_many(pairs)
+        else:
+            # Shared planning with the oracle (repro.core.cache): one
+            # _solve_rows dispatch over the distinct missing sources —
+            # sharded across the worker pool when configured — with every
+            # row cached.
+            out = answer_pairs_cached(self._cache, pairs, self._solve_rows)
+        wall = time.perf_counter() - start
+        npairs = int(pairs.shape[0])
+        self.query_many_wall_s += wall
+        self.batch_rows_solved += self.rows_solved - rows_before
+        self._batch_pairs_hist[npairs] = self._batch_pairs_hist.get(npairs, 0) + 1
+        self.call_log.append(
+            {
+                "pairs": npairs,
+                "rows": self.rows_solved - rows_before,
+                "wall_s": wall,
+                "solve_s": self.solve_wall_s - solve_before,
+            }
+        )
+        return out
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Serving counters plus row-cache effectiveness (JSON-ready)."""
+        """Serving counters plus row-cache effectiveness (JSON-ready).
+
+        The ``timing`` and ``batch_sizes`` keys are the cumulative
+        latency/batch accounting the socket server's SLO report reads;
+        every pre-existing key is unchanged.
+        """
         return {
             "backend": "sketch" if self.sketch is not None else "rows",
             "n": self.n,
@@ -245,6 +284,28 @@ class QueryEngine:
             "batches": self.batches,
             "rows_solved": self.rows_solved,
             "cache": self._cache.stats(),
+            "timing": {
+                "query_many_wall_s": round(self.query_many_wall_s, 6),
+                "solve_wall_s": round(self.solve_wall_s, 6),
+                "batch_rows_solved": self.batch_rows_solved,
+                "rows_per_call_mean": (
+                    round(self.batch_rows_solved / self.batches, 3)
+                    if self.batches
+                    else 0.0
+                ),
+                "pairs_per_call_mean": (
+                    round(
+                        sum(k * v for k, v in self._batch_pairs_hist.items())
+                        / self.batches,
+                        3,
+                    )
+                    if self.batches
+                    else 0.0
+                ),
+            },
+            "batch_sizes": {
+                str(k): v for k, v in sorted(self._batch_pairs_hist.items())
+            },
             **({"meta": self.meta} if self.meta else {}),
         }
 

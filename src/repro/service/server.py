@@ -1,0 +1,599 @@
+"""Concurrent micro-batching query server over :class:`QueryEngine`.
+
+``repro serve --socket HOST:PORT`` runs :class:`QueryServer`: an asyncio
+socket server speaking a newline-delimited JSON protocol.  The perf
+mechanism is a **micro-batching window**: concurrent in-flight ``query``
+requests are coalesced — flushed when ``max_batch`` requests are pending
+or when the ``window_s`` deadline expires, whichever comes first — into a
+*single* :meth:`QueryEngine.query_many` call, so the batched
+``batched_sssp`` planning, per-source dedup, and row caching amortize
+across clients instead of degrading to one Dijkstra per request.  While a
+batch is being solved (in a dedicated solver thread, so the event loop
+keeps accepting), new arrivals accumulate; the flush loop picks them up
+the moment the solve returns — the window deadline only matters when the
+solver is idle, which is the classic adaptive micro-batching discipline.
+
+Around the batcher:
+
+* **Admission control** — at most ``max_pending`` requests may be queued;
+  excess requests get an explicit ``{"error": "overloaded"}`` reply
+  instead of unbounded queueing latency collapse.
+* **Latency SLOs** — every request's queue+solve+reply latency is
+  captured; the ``stats`` protocol verb (and :meth:`QueryServer.stats`)
+  reports p50/p95/p99/mean/max milliseconds, qps, and the batch-size
+  histogram, alongside :meth:`QueryEngine.stats` as the single source of
+  truth for rows/batch accounting.
+* **Graceful drain** — :meth:`aclose` stops accepting, rejects new
+  queries with ``{"error": "draining"}``, completes every in-flight
+  batch, closes connections, and releases the engine (worker pool +
+  shared-memory segments) via the existing ``close()`` lifecycle.
+
+Protocol (one JSON object per line, ``id`` echoed back verbatim):
+
+.. code-block:: text
+
+    -> {"op": "query", "u": 3, "v": 9, "id": 1}
+    <- {"id": 1, "d": 2.75}
+    -> {"op": "stats", "id": 2}
+    <- {"id": 2, "stats": {...latency_ms, qps, batch_size_hist, engine...}}
+    -> {"op": "ping", "id": 3}
+    <- {"id": 3, "pong": true}
+
+Disconnected pairs answer ``{"d": null}`` (JSON has no ``Infinity``).
+Malformed lines never kill the connection: they get
+``{"error": ..., "line": N}`` replies, with ``N`` the 1-based line number
+on that connection.
+
+The legacy ``repro serve`` stdin/stdout pipe mode shares
+:func:`serve_pipe`, which applies the same malformed-line hardening.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "QueryServer",
+    "AsyncClient",
+    "run_server",
+    "serve_pipe",
+    "parse_hostport",
+    "latency_summary",
+]
+
+
+def latency_summary(latencies_s) -> dict:
+    """p50/p95/p99/mean/max milliseconds over per-request latencies."""
+    if not len(latencies_s):
+        return {"count": 0}
+    lat = np.asarray(latencies_s, dtype=np.float64) * 1e3
+    p50, p95, p99 = np.percentile(lat, [50.0, 95.0, 99.0])
+    return {
+        "count": int(lat.size),
+        "p50_ms": round(float(p50), 3),
+        "p95_ms": round(float(p95), 3),
+        "p99_ms": round(float(p99), 3),
+        "mean_ms": round(float(lat.mean()), 3),
+        "max_ms": round(float(lat.max()), 3),
+    }
+
+
+def parse_hostport(text: str, *, default_host: str = "127.0.0.1") -> tuple[str, int]:
+    """``HOST:PORT`` (or bare ``PORT``) -> ``(host, port)``."""
+    host, sep, port_s = text.rpartition(":")
+    if not sep:
+        host, port_s = default_host, text
+    host = host or default_host
+    try:
+        port = int(port_s)
+    except ValueError:
+        raise ValueError(f"bad --socket {text!r}: port {port_s!r} is not an integer")
+    if not 0 <= port <= 65535:
+        raise ValueError(f"bad --socket {text!r}: port out of range")
+    return host, port
+
+
+@dataclass
+class _Request:
+    """One admitted query, waiting in the micro-batch window."""
+
+    u: int
+    v: int
+    rid: object
+    writer: asyncio.StreamWriter
+    t0: float  # perf_counter at admission; latency runs to reply write
+
+
+def _encode(payload: dict) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+
+
+class QueryServer:
+    """Asyncio socket server micro-batching queries into ``query_many``.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.service.engine.QueryEngine` to serve.  The
+        server owns its lifecycle from :meth:`start` on — :meth:`aclose`
+        calls ``engine.close()``.
+    host, port:
+        Bind address; ``port=0`` picks a free port (read ``self.port``
+        after :meth:`start`).
+    max_batch:
+        Flush immediately once this many requests are pending; a larger
+        backlog is split into consecutive ``max_batch``-sized solves.
+    window_s:
+        Deadline for a partial batch when the solver is idle: the first
+        request entering an empty window starts the timer, and whatever
+        has coalesced when it fires is flushed (even a single request).
+    max_pending:
+        Admission bound on queued requests; beyond it queries are
+        rejected with ``{"error": "overloaded"}``.
+    micro_batch:
+        ``False`` serves each request with one ``engine.query`` call
+        dispatched serially — the naive one-request-per-query server the
+        open-loop benchmark duels against.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 256,
+        window_s: float = 0.002,
+        max_pending: int = 8192,
+        micro_batch: bool = True,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if window_s < 0:
+            raise ValueError("window_s must be >= 0")
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.max_batch = int(max_batch)
+        self.window_s = float(window_s)
+        self.max_pending = int(max_pending)
+        self.micro_batch = bool(micro_batch)
+
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        # One solver thread: the engine is touched by exactly one thread,
+        # and the event loop stays free to admit + coalesce the next
+        # window while the current batch solves.
+        self._exec = ThreadPoolExecutor(max_workers=1, thread_name_prefix="qsolve")
+        self._pending: deque[_Request] = deque()
+        self._flush_task: asyncio.Task | None = None
+        self._timer: asyncio.TimerHandle | None = None
+        self._drain_tasks: set[asyncio.Task] = set()
+        self._handlers: set[asyncio.Task] = set()
+        self._conns: set[asyncio.StreamWriter] = set()
+        self._draining = False
+        self._closed = False
+        self._t0 = time.perf_counter()
+
+        # SLO accounting (reset_stats() clears these, not the engine's).
+        self.served = 0
+        self.rejected = 0
+        self.protocol_errors = 0
+        self.batches_flushed = 0
+        self.latencies_s: list[float] = []
+        self.batch_size_hist: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._t0 = time.perf_counter()
+
+    async def aclose(self) -> None:
+        """Graceful drain: finish in-flight batches, then release everything.
+
+        Stops accepting, rejects queries arriving mid-drain with
+        ``{"error": "draining"}``, awaits the flush loop over whatever is
+        queued, closes client connections, shuts the solver thread down,
+        and closes the engine (worker pool + shm segments).  Idempotent.
+        """
+        if self._closed:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._pending and (self._flush_task is None or self._flush_task.done()):
+            self._flush_task = asyncio.ensure_future(self._flush())
+        if self._flush_task is not None:
+            await self._flush_task
+        if self._drain_tasks:
+            await asyncio.gather(*self._drain_tasks, return_exceptions=True)
+        for writer in list(self._conns):
+            writer.close()
+        self._conns.clear()
+        if self._handlers:
+            # Closing the transports EOFs the read loops; wait for the
+            # handler tasks so loop shutdown never cancels them mid-read.
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        self._exec.shutdown(wait=True)
+        self.engine.close()
+        self._closed = True
+
+    async def __aenter__(self) -> "QueryServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    def reset_stats(self) -> None:
+        """Zero the SLO counters (benchmarks call this after warmup)."""
+        self.served = 0
+        self.rejected = 0
+        self.protocol_errors = 0
+        self.batches_flushed = 0
+        self.latencies_s = []
+        self.batch_size_hist = {}
+        self._t0 = time.perf_counter()
+
+    def stats(self) -> dict:
+        """Server SLO numbers + the engine's accounting (JSON-ready)."""
+        uptime = time.perf_counter() - self._t0
+        return {
+            "mode": "micro_batch" if self.micro_batch else "serial",
+            "max_batch": self.max_batch,
+            "window_ms": round(self.window_s * 1e3, 3),
+            "max_pending": self.max_pending,
+            "served": self.served,
+            "rejected": self.rejected,
+            "protocol_errors": self.protocol_errors,
+            "batches_flushed": self.batches_flushed,
+            "pending": len(self._pending),
+            "uptime_s": round(uptime, 3),
+            "qps": round(self.served / uptime, 1) if uptime > 0 else 0.0,
+            "latency_ms": latency_summary(self.latencies_s),
+            "batch_size_hist": {
+                str(k): v for k, v in sorted(self.batch_size_hist.items())
+            },
+            "draining": self._draining,
+            "engine": self.engine.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        task = asyncio.current_task()
+        self._handlers.add(task)
+        task.add_done_callback(self._handlers.discard)
+        self._conns.add(writer)
+        lineno = 0
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                lineno += 1
+                if not raw.strip():
+                    continue
+                await self._dispatch(raw, lineno, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._conns.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, raw: bytes, lineno: int, writer) -> None:
+        try:
+            msg = json.loads(raw)
+            if not isinstance(msg, dict):
+                raise ValueError(f"expected a JSON object, got {type(msg).__name__}")
+        except ValueError as exc:
+            await self._reply_error(writer, None, lineno, f"bad JSON: {exc}")
+            return
+        rid = msg.get("id")
+        op = msg.get("op", "query")
+        if op == "query":
+            err = self._admit(msg, rid, writer)
+            if err is not None:
+                await self._reply_error(writer, rid, lineno, err)
+            return
+        if op == "stats":
+            writer.write(_encode({"id": rid, "stats": self.stats()}))
+            await self._drain_writer(writer)
+            return
+        if op == "ping":
+            writer.write(_encode({"id": rid, "pong": True}))
+            await self._drain_writer(writer)
+            return
+        await self._reply_error(writer, rid, lineno, f"unknown op {op!r}")
+
+    def _admit(self, msg: dict, rid, writer) -> str | None:
+        """Validate + enqueue one query; returns an error string to reject."""
+        u, v = msg.get("u"), msg.get("v")
+        if not isinstance(u, int) or not isinstance(v, int) or isinstance(u, bool) or isinstance(v, bool):
+            return f"u and v must be integers, got u={u!r} v={v!r}"
+        if not (0 <= u < self.engine.n and 0 <= v < self.engine.n):
+            return f"vertex out of range for n={self.engine.n}: u={u} v={v}"
+        if self._draining:
+            self.rejected += 1
+            return "draining"
+        if len(self._pending) >= self.max_pending:
+            self.rejected += 1
+            return "overloaded"
+        self._pending.append(_Request(u, v, rid, writer, time.perf_counter()))
+        self._arm()
+        return None
+
+    async def _reply_error(self, writer, rid, lineno: int, error: str) -> None:
+        self.protocol_errors += 1
+        payload = {"error": error, "line": lineno}
+        if rid is not None:
+            payload["id"] = rid
+        writer.write(_encode(payload))
+        await self._drain_writer(writer)
+
+    @staticmethod
+    async def _drain_writer(writer) -> None:
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    # ------------------------------------------------------------------
+    # The micro-batch window
+    # ------------------------------------------------------------------
+    def _arm(self) -> None:
+        """Start a flush (batch full) or the window timer (first arrival)."""
+        if self._flush_task is not None and not self._flush_task.done():
+            return  # the running flush loop picks pending up when it returns
+        if not self.micro_batch or len(self._pending) >= self.max_batch:
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+            self._flush_task = asyncio.ensure_future(self._flush())
+        elif self._timer is None:
+            self._timer = self._loop.call_later(self.window_s, self._window_expired)
+
+    def _window_expired(self) -> None:
+        self._timer = None
+        # The window can legitimately expire over an empty queue (a
+        # max-batch flush already consumed it): a no-op, not an error.
+        if self._pending and (self._flush_task is None or self._flush_task.done()):
+            self._flush_task = asyncio.ensure_future(self._flush())
+
+    async def _flush(self) -> None:
+        """Drain the queue in ``max_batch``-sized solves.
+
+        Requests arriving while a solve is in the executor are picked up
+        by the next loop iteration immediately — under load the window
+        deadline never waits, batches just track the backlog.
+        """
+        while self._pending:
+            if self.micro_batch:
+                take = min(self.max_batch, len(self._pending))
+                batch = [self._pending.popleft() for _ in range(take)]
+                pairs = np.array([(r.u, r.v) for r in batch], dtype=np.int64)
+                answers = await self._loop.run_in_executor(
+                    self._exec, self.engine.query_many, pairs
+                )
+                self._deliver(batch, answers)
+            else:
+                # The naive duel baseline: one engine.query dispatch and
+                # one write+drain per request, strictly serialized.
+                req = self._pending.popleft()
+                d = await self._loop.run_in_executor(
+                    self._exec, self.engine.query, req.u, req.v
+                )
+                self._deliver([req], [d])
+                await self._drain_writer(req.writer)
+        self._flush_task = None
+
+    def _deliver(self, batch: list[_Request], answers) -> None:
+        now = time.perf_counter()
+        self.batches_flushed += 1
+        self.batch_size_hist[len(batch)] = self.batch_size_hist.get(len(batch), 0) + 1
+        by_writer: dict[asyncio.StreamWriter, list[bytes]] = {}
+        for req, d in zip(batch, answers):
+            d = float(d)
+            payload = {"id": req.rid, "d": d if math.isfinite(d) else None}
+            by_writer.setdefault(req.writer, []).append(_encode(payload))
+            self.latencies_s.append(now - req.t0)
+        self.served += len(batch)
+        for writer, lines in by_writer.items():
+            if not writer.is_closing():
+                writer.write(b"".join(lines))
+        if self.micro_batch:
+            for writer in by_writer:
+                if not writer.is_closing():
+                    task = self._loop.create_task(self._drain_writer(writer))
+                    self._drain_tasks.add(task)
+                    task.add_done_callback(self._drain_tasks.discard)
+
+
+class AsyncClient:
+    """Pipelined NDJSON client for :class:`QueryServer` (tests + load gen).
+
+    :meth:`send` writes a request without awaiting, returning a future
+    that resolves to ``(reply_dict, t_recv)`` with ``t_recv`` stamped the
+    moment the reader task parsed the reply — open-loop load generators
+    fire sends on a schedule and measure latency from the *scheduled*
+    time to ``t_recv``.  :meth:`request` is the await-one-reply wrapper.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._waiters: dict[object, asyncio.Future] = {}
+        self.unmatched: list[dict] = []
+        self._read_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                raw = await self._reader.readline()
+                if not raw:
+                    break
+                t_recv = time.perf_counter()
+                msg = json.loads(raw)
+                fut = self._waiters.pop(msg.get("id"), None)
+                if fut is not None and not fut.done():
+                    fut.set_result((msg, t_recv))
+                else:
+                    self.unmatched.append(msg)
+        except (ConnectionResetError, asyncio.CancelledError):
+            pass
+        finally:
+            for fut in self._waiters.values():
+                if not fut.done():
+                    fut.set_exception(ConnectionError("server closed the connection"))
+            self._waiters.clear()
+
+    def send(self, payload: dict) -> asyncio.Future:
+        """Fire one request (no drain await); future -> (reply, t_recv)."""
+        rid = self._next_id
+        self._next_id += 1
+        fut = asyncio.get_running_loop().create_future()
+        self._waiters[rid] = fut
+        self._writer.write(_encode({"id": rid, **payload}))
+        return fut
+
+    def send_raw(self, line: bytes) -> None:
+        """Write an arbitrary (possibly malformed) line — protocol tests."""
+        self._writer.write(line)
+
+    async def request(self, payload: dict) -> dict:
+        fut = self.send(payload)
+        await self._writer.drain()
+        msg, _ = await fut
+        return msg
+
+    async def query(self, u: int, v: int) -> float | None:
+        reply = await self.request({"op": "query", "u": u, "v": v})
+        if "error" in reply:
+            raise RuntimeError(reply["error"])
+        return reply["d"]
+
+    async def stats(self) -> dict:
+        return (await self.request({"op": "stats"}))["stats"]
+
+    async def close(self) -> None:
+        self._read_task.cancel()
+        try:
+            await self._read_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def run_server(
+    engine,
+    *,
+    host: str,
+    port: int,
+    max_batch: int = 256,
+    window_s: float = 0.002,
+    max_pending: int = 8192,
+    announce=None,
+) -> dict:
+    """Run a :class:`QueryServer` until SIGINT/SIGTERM; returns final stats.
+
+    ``announce(host, port)`` is called once the socket is bound (the CLI
+    prints the address to stderr; tests grab the ephemeral port).
+    """
+    import signal
+
+    async def _main() -> dict:
+        server = QueryServer(
+            engine,
+            host=host,
+            port=port,
+            max_batch=max_batch,
+            window_s=window_s,
+            max_pending=max_pending,
+        )
+        await server.start()
+        if announce is not None:
+            announce(server.host, server.port)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await stop.wait()
+        stats = server.stats()  # pre-drain snapshot keeps qps meaningful
+        await server.aclose()
+        stats["drained"] = True
+        return stats
+
+    return asyncio.run(_main())
+
+
+def serve_pipe(engine, lines, out) -> dict:
+    """The legacy ``repro serve`` pipe loop, hardened.
+
+    Serves ``u v`` pairs from the ``lines`` iterable to ``out``: one
+    distance per valid line.  Malformed lines — wrong arity, non-integer
+    tokens, out-of-range vertex ids, anything else a line can throw — get
+    a line-numbered JSON error reply (``{"line": N, "error": ...}``) on
+    ``out`` and the loop keeps serving; nothing kills the server.
+    Returns ``{"errors": N, "stats": engine.stats()}``.
+    """
+    errors = 0
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"expected 'u v', got {line!r}")
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise ValueError(f"non-integer vertex in {line!r}") from None
+            d = engine.query(u, v)
+        except Exception as exc:  # the pipe must survive any bad line
+            errors += 1
+            print(
+                json.dumps({"line": lineno, "error": str(exc)}, sort_keys=True),
+                file=out,
+                flush=True,
+            )
+            continue
+        print(d, file=out, flush=True)
+    return {"errors": errors, "stats": engine.stats()}

@@ -1,0 +1,407 @@
+"""Tests for the concurrent micro-batching query server (repro.service.server).
+
+Covers the ISSUE 7 acceptance invariants: the micro-batch window's edge
+cases (deadline flush of a single request, empty-window timer no-op,
+max-batch overflow splitting), bounded admission control with explicit
+overload rejections, graceful drain leaving /dev/shm clean, bit-identity
+of served answers vs offline ``query_many``, the ``stats`` protocol verb,
+malformed-line hardening on both the socket protocol and the legacy pipe
+loop, and the ``repro serve --socket`` CLI end to end.
+
+No pytest-asyncio in the image: async tests run via ``asyncio.run``
+inside sync test functions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.distances import SpannerDistanceOracle
+from repro.graphs import WeightedGraph, erdos_renyi
+from repro.service import AsyncClient, QueryEngine, QueryServer, serve_pipe
+from repro.service.server import latency_summary, parse_hostport
+from repro.service.shm import shm_segments
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="module")
+def g():
+    return erdos_renyi(180, 0.08, weights="uniform", rng=12)
+
+
+@pytest.fixture(scope="module")
+def oracle(g):
+    return SpannerDistanceOracle(g, k=4, t=2, rng=0)
+
+
+class SlowEngine:
+    """Delegating engine wrapper whose solves block long enough for the
+    event loop to coalesce (or overflow) the next micro-batch window."""
+
+    def __init__(self, inner, delay: float = 0.05):
+        self._inner = inner
+        self.delay = delay
+        self.batch_sizes: list[int] = []
+
+    def query_many(self, pairs):
+        time.sleep(self.delay)
+        self.batch_sizes.append(len(pairs))
+        return self._inner.query_many(pairs)
+
+    def query(self, u, v):
+        time.sleep(self.delay)
+        return self._inner.query(u, v)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+async def _burst(server, payloads):
+    """One connection, pipelined sends; returns replies in send order."""
+    cli = await AsyncClient.connect(server.host, server.port)
+    futs = [cli.send(p) for p in payloads]
+    replies = [(await f)[0] for f in futs]
+    await cli.close()
+    return replies
+
+
+class TestMicroBatchWindow:
+    def test_deadline_flush_single_request(self, oracle):
+        """One lone request must not wait for max_batch: the window
+        deadline flushes a batch of exactly 1."""
+
+        async def run():
+            engine = QueryEngine(oracle)
+            async with QueryServer(engine, max_batch=256, window_s=0.005) as server:
+                cli = await AsyncClient.connect(server.host, server.port)
+                d = await cli.query(0, 5)
+                await cli.close()
+                return d, dict(server.batch_size_hist)
+
+        d, hist = asyncio.run(run())
+        assert d == pytest.approx(oracle.query(0, 5))
+        assert hist == {1: 1}
+
+    def test_empty_window_timer_is_noop(self, oracle):
+        """The deadline can legitimately fire over an empty queue (a
+        max-batch flush already consumed it): no flush, no crash."""
+
+        async def run():
+            engine = QueryEngine(oracle)
+            async with QueryServer(engine, window_s=0.001) as server:
+                server._window_expired()
+                assert server._flush_task is None
+                await asyncio.sleep(0.005)
+                return server.batches_flushed
+
+        assert asyncio.run(run()) == 0
+
+    def test_max_batch_overflow_splits(self, oracle):
+        """A backlog larger than max_batch is split into consecutive
+        solves, every one <= max_batch, nothing lost or reordered."""
+        total, max_batch = 13, 4
+
+        async def run():
+            engine = SlowEngine(QueryEngine(oracle), delay=0.03)
+            async with QueryServer(engine, max_batch=max_batch, window_s=0.001) as server:
+                cli = await AsyncClient.connect(server.host, server.port)
+                first = cli.send({"op": "query", "u": 0, "v": 1})
+                await asyncio.sleep(0.01)  # first solve occupies the thread
+                futs = [
+                    cli.send({"op": "query", "u": i % engine.n, "v": (i * 7) % engine.n})
+                    for i in range(1, total)
+                ]
+                replies = [(await first)[0]] + [(await f)[0] for f in futs]
+                await cli.close()
+                return replies, engine.batch_sizes, dict(server.batch_size_hist)
+
+        replies, solver_batches, hist = asyncio.run(run())
+        assert all("d" in r for r in replies)
+        assert sum(solver_batches) == total
+        assert max(solver_batches) <= max_batch
+        assert len(solver_batches) >= 2  # the backlog really was split
+        assert hist == {b: c for b, c in zip(*np.unique(solver_batches, return_counts=True))}
+        expected = [float(oracle.query(0, 1))] + [
+            float(oracle.query(i % oracle.spanner.n, (i * 7) % oracle.spanner.n))
+            for i in range(1, total)
+        ]
+        assert [r["d"] for r in replies] == pytest.approx(expected)
+
+    def test_overload_rejection(self, oracle):
+        """Admission is bounded: beyond max_pending queued requests the
+        server answers {"error": "overloaded"} instead of queueing."""
+        max_pending, extra = 4, 6
+
+        async def run():
+            engine = SlowEngine(QueryEngine(oracle), delay=0.08)
+            async with QueryServer(
+                engine, max_batch=2, window_s=0.001, max_pending=max_pending
+            ) as server:
+                cli = await AsyncClient.connect(server.host, server.port)
+                first = cli.send({"op": "query", "u": 0, "v": 1})
+                await asyncio.sleep(0.02)  # solver busy; queue admits next
+                futs = [
+                    cli.send({"op": "query", "u": 2, "v": 3})
+                    for _ in range(max_pending + extra)
+                ]
+                replies = [(await first)[0]] + [(await f)[0] for f in futs]
+                rejected = server.rejected
+                await cli.close()
+                return replies, rejected
+
+        replies, rejected = asyncio.run(run())
+        errors = [r for r in replies if "error" in r]
+        answered = [r for r in replies if "d" in r]
+        assert len(errors) == extra and all(r["error"] == "overloaded" for r in errors)
+        assert len(answered) == 1 + max_pending
+        assert rejected == extra
+
+    def test_bit_identity_vs_offline(self, oracle):
+        """Every served answer equals offline query_many bit-for-bit."""
+        rng = np.random.default_rng(5)
+        pairs = rng.integers(0, oracle.spanner.n, size=(300, 2))
+        offline = QueryEngine(oracle).query_many(pairs)
+
+        async def run():
+            engine = QueryEngine(oracle, cache_rows=16)
+            async with QueryServer(engine, max_batch=32, window_s=0.002) as server:
+                replies = await _burst(
+                    server,
+                    [{"op": "query", "u": int(u), "v": int(v)} for u, v in pairs],
+                )
+                return [r["d"] for r in replies]
+
+        got = np.array([np.inf if d is None else d for d in asyncio.run(run())])
+        assert np.array_equal(got, offline)
+
+    def test_disconnected_pair_is_null(self):
+        """JSON has no Infinity: unreachable pairs answer d=null."""
+
+        async def run():
+            engine = QueryEngine(WeightedGraph.from_edges(4, []))
+            async with QueryServer(engine, window_s=0.001) as server:
+                (reply,) = await _burst(server, [{"op": "query", "u": 0, "v": 3}])
+                return reply
+
+        assert asyncio.run(run())["d"] is None
+
+
+class TestProtocol:
+    def test_stats_and_ping_verbs(self, oracle):
+        async def run():
+            engine = QueryEngine(oracle)
+            async with QueryServer(engine, window_s=0.001) as server:
+                cli = await AsyncClient.connect(server.host, server.port)
+                await cli.query(0, 5)
+                pong = await cli.request({"op": "ping"})
+                stats = await cli.stats()
+                await cli.close()
+                return pong, stats
+
+        pong, stats = asyncio.run(run())
+        assert pong["pong"] is True
+        assert stats["mode"] == "micro_batch"
+        assert stats["served"] == 1
+        assert stats["batches_flushed"] == 1
+        assert stats["latency_ms"]["count"] == 1
+        assert stats["latency_ms"]["p99_ms"] >= 0
+        assert stats["batch_size_hist"] == {"1": 1}
+        assert "cache" in stats["engine"]  # engine accounting rides along
+
+    def test_malformed_lines_get_line_numbered_errors(self, oracle):
+        """Bad JSON, bad types, bad ranges, unknown ops: every one gets
+        an error reply and the connection keeps serving."""
+
+        async def run():
+            engine = QueryEngine(oracle)
+            async with QueryServer(engine, window_s=0.001) as server:
+                cli = await AsyncClient.connect(server.host, server.port)
+                cli.send_raw(b"this is not json\n")
+                cli.send_raw(b'[1, 2, 3]\n')
+                bad = [
+                    await cli.request({"op": "query", "u": "zero", "v": 1}),
+                    await cli.request({"op": "query", "u": 0, "v": 10**6}),
+                    await cli.request({"op": "query", "u": True, "v": 1}),
+                    await cli.request({"op": "query", "u": 0}),
+                    await cli.request({"op": "warp", "u": 0, "v": 1}),
+                ]
+                good = await cli.query(0, 5)
+                await asyncio.sleep(0.01)  # let the raw-line errors land
+                unmatched = list(cli.unmatched)
+                perrs = server.protocol_errors
+                await cli.close()
+                return bad, good, unmatched, perrs
+
+        bad, good, unmatched, perrs = asyncio.run(run())
+        assert all("error" in r and r["line"] >= 1 for r in bad)
+        assert "integers" in bad[0]["error"]
+        assert "out of range" in bad[1]["error"]
+        assert "integers" in bad[2]["error"]  # bools are not vertex ids
+        assert "integers" in bad[3]["error"]  # missing v
+        assert "unknown op" in bad[4]["error"]
+        assert good >= 0  # the connection survived all of it
+        assert len(unmatched) == 2  # the id-less raw-line error replies
+        assert all("error" in m and "line" in m for m in unmatched)
+        assert perrs == 7
+
+    def test_parse_hostport(self):
+        assert parse_hostport("127.0.0.1:8123") == ("127.0.0.1", 8123)
+        assert parse_hostport("8123") == ("127.0.0.1", 8123)
+        assert parse_hostport(":8123") == ("127.0.0.1", 8123)
+        assert parse_hostport("0.0.0.0:0") == ("0.0.0.0", 0)
+        with pytest.raises(ValueError):
+            parse_hostport("host:notaport")
+        with pytest.raises(ValueError):
+            parse_hostport("host:70000")
+
+    def test_latency_summary(self):
+        assert latency_summary([]) == {"count": 0}
+        out = latency_summary([0.001, 0.002, 0.003])
+        assert out["count"] == 3
+        assert out["p50_ms"] == pytest.approx(2.0)
+        assert out["max_ms"] == pytest.approx(3.0)
+
+    def test_constructor_validation(self, oracle):
+        engine = QueryEngine(oracle)
+        with pytest.raises(ValueError):
+            QueryServer(engine, max_batch=0)
+        with pytest.raises(ValueError):
+            QueryServer(engine, max_pending=0)
+        with pytest.raises(ValueError):
+            QueryServer(engine, window_s=-1.0)
+
+
+class TestDrain:
+    def test_drain_answers_in_flight_and_frees_shm(self, oracle, tmp_path):
+        """aclose() mid-traffic: everything admitted is answered, late
+        arrivals get {"error": "draining"}, and the sharded engine's
+        /dev/shm segments are gone afterwards."""
+        from repro.service import ArtifactStore
+
+        before = shm_segments()
+        store = ArtifactStore(tmp_path)
+        key = store.save_oracle(oracle)
+
+        async def run():
+            engine = QueryEngine.from_store(store, key, cache_rows=32, shards=2)
+            server = QueryServer(engine, max_batch=16, window_s=0.002)
+            await server.start()
+            cli = await AsyncClient.connect(server.host, server.port)
+            futs = [cli.send({"op": "query", "u": i % 180, "v": (i * 3) % 180}) for i in range(64)]
+            await asyncio.sleep(0.01)  # batches in flight
+            await server.aclose()
+            answered = rejected = lost = 0
+            for f in futs:
+                try:
+                    msg, _ = await f
+                except ConnectionError:
+                    lost += 1
+                    continue
+                if "error" in msg:
+                    assert msg["error"] == "draining"
+                    rejected += 1
+                else:
+                    answered += 1
+            late = await asyncio.gather(
+                cli.send({"op": "query", "u": 0, "v": 1}), return_exceptions=True
+            )
+            await cli.close()
+            await server.aclose()  # idempotent
+            return answered, rejected, lost, late
+
+        answered, rejected, lost, late = asyncio.run(run())
+        assert lost == 0
+        assert answered + rejected == 64 and answered > 0
+        # Post-drain send either errors or is rejected; never answered.
+        assert isinstance(late[0], (ConnectionError, Exception)) or "error" in late[0][0]
+        assert shm_segments() == before
+
+
+class TestServePipe:
+    def test_malformed_lines_survive_with_json_errors(self, oracle):
+        engine = QueryEngine(oracle)
+        lines = [
+            "0 5",          # 1: ok
+            "bad",          # 2: arity
+            "1 2 3",        # 3: arity
+            "0 999999",     # 4: out of range
+            "zero one",     # 5: non-integer
+            "# comment",    # 6: skipped
+            "",             # 7: skipped
+            "3 9",          # 8: ok
+        ]
+        out = io.StringIO()
+        result = serve_pipe(engine, lines, out)
+        assert result["errors"] == 4
+        assert result["stats"]["queries_served"] == 2
+        got = out.getvalue().strip().splitlines()
+        assert len(got) == 6
+        assert float(got[0]) == pytest.approx(oracle.query(0, 5))
+        assert float(got[5]) == pytest.approx(oracle.query(3, 9))
+        errs = [json.loads(line) for line in got[1:5]]
+        assert [e["line"] for e in errs] == [2, 3, 4, 5]
+        assert "expected 'u v'" in errs[0]["error"]
+        assert "non-integer" in errs[3]["error"]
+
+    def test_clean_pipe_has_no_errors(self, oracle):
+        engine = QueryEngine(oracle)
+        out = io.StringIO()
+        result = serve_pipe(engine, ["0 1", "2 3"], out)
+        assert result["errors"] == 0
+        assert len(out.getvalue().strip().splitlines()) == 2
+
+
+class TestSocketCLI:
+    def test_serve_socket_end_to_end(self, tmp_path):
+        """repro serve --socket: build+serve, concurrent queries over a
+        real socket, SIGTERM drain, stats on stderr, no shm leaks."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO, "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--store", str(tmp_path / "store"), "--build",
+                "--graph", "er:64:0.1", "--algorithm", "general", "-k", "3",
+                "--seed", "0", "--socket", "127.0.0.1:0", "--window-ms", "1",
+            ],
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            line = proc.stderr.readline()
+            assert "serving artifact" in line
+            port = int(line.split(" on ")[1].split()[0].rsplit(":", 1)[1])
+
+            async def drive():
+                clis = [await AsyncClient.connect("127.0.0.1", port) for _ in range(3)]
+                futs = [
+                    cli.send({"op": "query", "u": (i * 5) % 64, "v": (i * 11) % 64})
+                    for i, cli in ((i, clis[i % 3]) for i in range(30))
+                ]
+                replies = [(await f)[0] for f in futs]
+                stats = await clis[0].stats()
+                for cli in clis:
+                    await cli.close()
+                return replies, stats
+
+            replies, stats = asyncio.run(drive())
+            assert all("d" in r for r in replies)
+            assert stats["served"] >= 30
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            _, err = proc.communicate(timeout=30)
+        assert proc.returncode == 0
+        final = json.loads(err.strip().splitlines()[-1])
+        assert final["drained"] is True and final["served"] >= 30

@@ -212,6 +212,31 @@ class TestQueryEngine:
         assert engine.rows_solved == rows_after_batch
         assert engine.stats()["cache"]["hits"] >= 1
 
+    def test_timing_stats_accumulate(self, oracle, pairs):
+        """The cumulative latency/batch accounting behind the server's
+        SLO report: per-call wall time, rows per query_many call, and the
+        batch-size histogram — with every pre-existing key unchanged."""
+        engine = QueryEngine(oracle, cache_rows=64)
+        base_keys = set(engine.stats())
+        assert {"backend", "n", "m", "shards", "queries_served", "batches",
+                "rows_solved", "cache"} <= base_keys
+        engine.query_many(pairs[:100])
+        engine.query_many(pairs[100:250])
+        stats = engine.stats()
+        assert set(stats) == base_keys  # new keys present from the start
+        timing = stats["timing"]
+        assert timing["query_many_wall_s"] > 0
+        assert 0 < timing["solve_wall_s"] <= timing["query_many_wall_s"]
+        assert timing["batch_rows_solved"] == stats["rows_solved"]
+        assert timing["rows_per_call_mean"] == pytest.approx(
+            stats["rows_solved"] / stats["batches"], abs=1e-3
+        )
+        assert timing["pairs_per_call_mean"] == pytest.approx(250 / 2, abs=1e-3)
+        assert stats["batch_sizes"] == {"100": 1, "150": 1}
+        assert len(engine.call_log) == 2
+        call = engine.call_log[0]
+        assert call["pairs"] == 100 and call["wall_s"] >= call["solve_s"] >= 0
+
     def test_lru_bound_respected(self, oracle, pairs):
         engine = QueryEngine(oracle, cache_rows=4)
         engine.query_many(pairs)
