@@ -28,6 +28,11 @@ Suites and their artifacts:
   micro-batching socket server: offered-rate sweep with tail latencies,
   the >= 5x micro-vs-naive duel, reply bit-identity, graceful-drain shm
   hygiene; see ``repro serve --socket`` and benchmarks/bench_server.py)
+* ``provider`` -> ``BENCH_provider.json`` (the accuracy/latency Pareto
+  frontier of the exact/oracle/sketch/tiered backends plus the auto
+  planner on zipf + uniform workloads: stretch-bound, throughput, and
+  sketch-tier identity gates; see ``repro query --backend`` and
+  benchmarks/bench_provider.py)
 
 ``--suite full`` regenerates every snapshot in one invocation and prints
 a compact trajectory diff against the previously committed files.
@@ -54,6 +59,7 @@ OUT_PATHS = {
     "service": "BENCH_service.json",
     "scale": "BENCH_scale.json",
     "server": "BENCH_server.json",
+    "provider": "BENCH_provider.json",
 }
 
 
@@ -184,6 +190,29 @@ def _run_server(args, out_path: str) -> tuple[int, dict]:
     return rc, record
 
 
+def _run_provider(args, out_path: str) -> tuple[int, dict]:
+    from bench_provider import (
+        format_table,
+        identity_gate,
+        run_provider_bench,
+        stretch_gate,
+        throughput_gate,
+    )
+
+    record = run_provider_bench(smoke=args.smoke)
+    print(format_table(record))
+    _write(record, out_path)
+
+    rc = 0
+    for gate in (stretch_gate, throughput_gate, identity_gate):
+        ok, reasons = gate(record)
+        for reason in reasons:
+            print(f"{gate.__name__}: {reason}", file=sys.stdout if ok else sys.stderr)
+        if not ok:
+            rc = 1
+    return rc, record
+
+
 SUITES = {
     "distance": _run_distance,
     "runner": _run_runner,
@@ -191,6 +220,7 @@ SUITES = {
     "service": _run_service,
     "scale": _run_scale,
     "server": _run_server,
+    "provider": _run_provider,
 }
 
 
@@ -251,6 +281,17 @@ def _trajectory_diff(name: str, old: dict | None, new: dict) -> list[str]:
             f"{_fmt(nd.get('speedup'), 'x')}; top achieved qps: "
             f"{_fmt(o_top)} -> {_fmt(n_top)}"
         )
+    elif name == "provider":
+        old_wl = (old or {}).get("workloads", {})
+        for wl, rec in sorted(new.get("workloads", {}).items()):
+            o_auto = old_wl.get(wl, {}).get("auto", {})
+            n_auto = rec.get("auto", {})
+            lines.append(
+                f"  provider {wl} auto: {_fmt(o_auto.get('qps'))} -> "
+                f"{_fmt(n_auto.get('qps'))} q/s; max stretch: "
+                f"{_fmt(o_auto.get('stretch', {}).get('max'), 'x')} -> "
+                f"{_fmt(n_auto.get('stretch', {}).get('max'), 'x')}"
+            )
     elif name == "suite":
         old_algos = (old or {}).get("algorithms", {})
         for algo, rec in sorted(new.get("algorithms", {}).items()):

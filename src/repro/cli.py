@@ -53,11 +53,29 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 
 from .registry import algorithm_names, get_algorithm, iter_algorithms, ALIASES
 
 __all__ = ["main", "build_graph"]
+
+
+def _json_safe(obj):
+    """Recursively map non-finite floats to ``None`` for JSON output.
+
+    ``json.dumps`` emits the spec-invalid bare ``Infinity``/``NaN`` tokens
+    for non-finite floats; every CLI JSON path routes through this so
+    unreachable distances and unbounded stretches serialize as ``null``,
+    matching the socket protocol's ``{"d": null}`` contract.
+    """
+    if isinstance(obj, float):
+        return obj if math.isfinite(obj) else None
+    if isinstance(obj, dict):
+        return {k: _json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_safe(v) for v in obj]
+    return obj
 
 
 def build_graph(spec: str, *, weights: str = "uniform", seed: int = 0):
@@ -107,7 +125,7 @@ def _cmd_spanner(args) -> int:
                 "mean_stretch": float(rep.mean_stretch),
             }
         )
-        print(json.dumps(record, indent=2, sort_keys=True))
+        print(json.dumps(_json_safe(record), indent=2, sort_keys=True))
         return 0
 
     print(f"graph: n={g.n} m={g.m}")
@@ -160,7 +178,7 @@ def _cmd_apsp(args) -> int:
         if mask.any():
             record["max_approximation"] = float(ratios.max())
             record["mean_approximation"] = float(ratios.mean())
-        print(json.dumps(record, indent=2, sort_keys=True))
+        print(json.dumps(_json_safe(record), indent=2, sort_keys=True))
         return 0
 
     print(f"graph: n={g.n} m={g.m}  model={args.model}")
@@ -342,7 +360,7 @@ def _cmd_verify(args) -> int:
                 out = out / "certificate.json"
             cert.save(out)
         if args.json:
-            print(json.dumps(cert.to_json(), indent=2, sort_keys=True))
+            print(json.dumps(_json_safe(cert.to_json()), indent=2, sort_keys=True))
         else:
             print(
                 f"{cert.algorithm} on {cert.graph} "
@@ -350,7 +368,7 @@ def _cmd_verify(args) -> int:
                 f"{cert.summary()}"
             )
             for c in cert.checks:
-                mark = "ok " if c.passed else "XXX"
+                mark = "ok  " if c.passed else "FAIL"
                 bound = "" if c.bound is None else f"  <=  {c.bound:.3f}"
                 print(f"  [{mark}] {c.name:<18} {c.measured:.3f}{bound}  ({c.detail})")
             if cert.source:
@@ -397,7 +415,7 @@ def _cmd_verify(args) -> int:
         progress=None if args.json else progress,
     )
     if args.json:
-        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+        print(json.dumps(_json_safe(result.to_json()), indent=2, sort_keys=True))
     else:
         print(format_matrix_markdown(result))
         if result.out_dir:
@@ -450,6 +468,24 @@ def _build_service_artifact(store, key: str, config: dict) -> None:
         sk, accounting = sketch_on_spanner(g, res, config["k"], rng=config["seed"])
         meta.update(accounting)
         store.save_sketch(sk, key=key, meta=meta)
+    elif config["kind"] == "bundle":
+        # Graph + spanner + sketch side by side under one key: the
+        # multi-backend artifact the provider planner serves.  The sketch
+        # is preprocessed on the *input* graph, so its declared stretch
+        # stays the clean 2k-1.
+        from .distances.sketches import DistanceSketch
+
+        sk = DistanceSketch(g, config["k"], rng=config["seed"])
+        store.save_bundle(
+            g,
+            res.subgraph(g),
+            sk,
+            k=res.k,
+            t=res.t,
+            t_effective=res.extra.get("t_effective", res.t),
+            key=key,
+            meta=meta,
+        )
     else:
         store.save_spanner(
             res.subgraph(g),
@@ -459,6 +495,22 @@ def _build_service_artifact(store, key: str, config: dict) -> None:
             key=key,
             meta=meta,
         )
+
+
+def _plan_target(args):
+    """The :class:`~repro.service.provider.PlanTarget` the planner flags
+    declare, or ``None`` when every flag is at its default."""
+    backend = getattr(args, "backend", "auto")
+    stretch = getattr(args, "stretch", None)
+    latency = getattr(args, "latency_target", None)
+    if backend == "auto" and stretch is None and latency is None:
+        return None
+    from .service.provider import PlanTarget
+
+    try:
+        return PlanTarget(backend=backend, max_stretch=stretch, p99_ms=latency)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
 
 
 def _resolve_engine(args):
@@ -482,12 +534,20 @@ def _resolve_engine(args):
                 )
             _build_service_artifact(store, key, _service_config(args))
             built = True
+    target = _plan_target(args)
+    if target is not None and store.info(key).kind != "bundle":
+        raise SystemExit(
+            f"--backend/--stretch/--latency-target route between backends, but "
+            f"artifact {key!r} is kind {store.info(key).kind!r}; build with "
+            f"--kind bundle to serve all of them"
+        )
     engine = QueryEngine.from_store(
         store,
         key,
         cache_rows=args.cache_rows,
         shards=args.shards,
         mmap=not args.eager,
+        target=target,
     )
     return key, built, engine
 
@@ -540,24 +600,25 @@ def _cmd_query(args) -> int:
 
     finite = np.isfinite(answers)
     if args.json:
+        # _json_safe maps disconnected answers (float inf) to null — the
+        # socket protocol's {"d": null} contract, not the spec-invalid
+        # bare `Infinity` token json.dumps would emit.
         print(
             json.dumps(
-                {
-                    "store": args.store,
-                    "key": key,
-                    "built": built,
-                    "num_pairs": int(pairs.shape[0]),
-                    "finite": int(finite.sum()),
-                    "mean_distance": (
-                        float(answers[finite].mean()) if finite.any() else None
-                    ),
-                    # Disconnected pairs are null, not the spec-invalid
-                    # bare `Infinity` json.dumps would emit for float inf.
-                    "answers": [
-                        a if np.isfinite(a) else None for a in answers.tolist()
-                    ],
-                    "stats": stats,
-                },
+                _json_safe(
+                    {
+                        "store": args.store,
+                        "key": key,
+                        "built": built,
+                        "num_pairs": int(pairs.shape[0]),
+                        "finite": int(finite.sum()),
+                        "mean_distance": (
+                            float(answers[finite].mean()) if finite.any() else None
+                        ),
+                        "answers": answers.tolist(),
+                        "stats": stats,
+                    }
+                ),
                 indent=2,
                 sort_keys=True,
             )
@@ -572,6 +633,12 @@ def _cmd_query(args) -> int:
         f"served {stats['queries_served']} queries in {stats['batches']} batches: "
         f"{stats['rows_solved']} rows solved, cache hit rate {cache['hit_rate']:.2%}"
     )
+    if "planner" in stats:
+        planner = stats["planner"]
+        routed = ", ".join(
+            f"{name}={count}" for name, count in sorted(planner["routed"].items())
+        )
+        print(f"planner [{planner['target']}] routed: {routed}")
     return 0
 
 
@@ -606,7 +673,7 @@ def _cmd_serve(args) -> int:
                 flush=True,
             ),
         )
-        print(json.dumps(stats, sort_keys=True), file=sys.stderr)
+        print(json.dumps(_json_safe(stats), sort_keys=True), file=sys.stderr)
         return 0
 
     from .service.server import serve_pipe
@@ -617,7 +684,7 @@ def _cmd_serve(args) -> int:
     )
     with engine:
         result = serve_pipe(engine, sys.stdin, sys.stdout)
-        print(json.dumps(result["stats"], sort_keys=True), file=sys.stderr)
+        print(json.dumps(_json_safe(result["stats"]), sort_keys=True), file=sys.stderr)
     return 1 if result["errors"] else 0
 
 
@@ -768,9 +835,34 @@ def make_parser() -> argparse.ArgumentParser:
         sp.add_argument("--weights", default="uniform", help="weight model")
         sp.add_argument(
             "--kind",
-            choices=["oracle", "sketch"],
+            choices=["oracle", "sketch", "bundle"],
             default="oracle",
-            help="artifact kind: spanner oracle rows or a Thorup-Zwick sketch",
+            help="artifact kind: spanner oracle rows, a Thorup-Zwick sketch, "
+            "or a bundle (graph + spanner + sketch) serving every backend",
+        )
+        sp.add_argument(
+            "--backend",
+            choices=["auto", "exact", "oracle", "sketch", "tiered"],
+            default="auto",
+            help="answer path for bundle artifacts: a fixed backend, 'tiered' "
+            "(sketch answer refined by hot oracle rows), or 'auto' planner "
+            "routing on observed latency",
+        )
+        sp.add_argument(
+            "--stretch",
+            type=float,
+            default=None,
+            metavar="S",
+            help="auto planner accuracy target: only backends whose declared "
+            "stretch bound is <= S are eligible",
+        )
+        sp.add_argument(
+            "--latency-target",
+            type=float,
+            default=None,
+            metavar="MS",
+            help="auto planner latency SLO: route to the most accurate backend "
+            "whose observed p99 per query is under MS milliseconds",
         )
         sp.add_argument(
             "--build",

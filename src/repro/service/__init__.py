@@ -7,9 +7,26 @@ queries from any process via :class:`~repro.service.engine.QueryEngine`
 — with a bounded LRU row cache, batched query planning, and optional
 process-pool sharding.  ``repro query`` / ``repro serve`` are the CLI
 front ends.
+
+:mod:`~repro.service.provider` unifies the three answer paths (exact
+rows, oracle rows, sketch walks) behind the :class:`DistanceProvider`
+protocol; ``bundle`` artifacts persist all three side by side and
+:class:`PlannedProvider` routes each batch from a declarative
+:class:`PlanTarget` (fixed backend, stretch cap, or latency SLO).
 """
 
 from .engine import QueryEngine
+from .provider import (
+    BACKENDS,
+    DistanceProvider,
+    PlannedProvider,
+    PlanTarget,
+    ProviderBundle,
+    RowProvider,
+    SketchProvider,
+    TieredProvider,
+    build_providers,
+)
 from .server import AsyncClient, QueryServer, run_server, serve_pipe
 from .shm import SharedGraphBuffers
 from .store import ArtifactInfo, ArtifactStore, STORE_FORMAT_VERSION, config_key
@@ -18,10 +35,19 @@ __all__ = [
     "ArtifactInfo",
     "ArtifactStore",
     "AsyncClient",
+    "BACKENDS",
+    "DistanceProvider",
+    "PlanTarget",
+    "PlannedProvider",
+    "ProviderBundle",
     "QueryEngine",
     "QueryServer",
+    "RowProvider",
     "SharedGraphBuffers",
+    "SketchProvider",
     "STORE_FORMAT_VERSION",
+    "TieredProvider",
+    "build_providers",
     "config_key",
     "run_server",
     "serve_pipe",

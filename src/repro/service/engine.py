@@ -43,6 +43,7 @@ from ..distances.sketches import DistanceSketch
 from ..graphs.distances import batched_sssp
 from ..graphs.graph import WeightedGraph
 from .mem import process_memory
+from .provider import PlannedProvider, PlanTarget, ProviderBundle, build_providers
 from .shm import SharedGraphBuffers
 
 __all__ = ["QueryEngine"]
@@ -102,9 +103,22 @@ class QueryEngine:
         cache_rows: int = SpannerDistanceOracle.DEFAULT_CACHE_ROWS,
         shards: int = 0,
         meta: dict | None = None,
+        target: PlanTarget | None = None,
     ) -> None:
         self.sketch: DistanceSketch | None = None
-        if isinstance(backend, DistanceSketch):
+        self.planner: PlannedProvider | None = None
+        if isinstance(backend, ProviderBundle):
+            # Multi-backend serving: the planner routes between the exact,
+            # oracle, sketch and tiered providers.  The engine's (possibly
+            # sharded, shared-memory) row solver is handed to the *oracle*
+            # provider — the spanner is what the shm segment holds; exact
+            # rows on the full input graph always solve in-process.
+            self.graph = backend.spanner
+            providers = build_providers(
+                backend, cache_rows=cache_rows, oracle_solve_rows=self._solve_rows
+            )
+            self.planner = PlannedProvider(providers, target)
+        elif isinstance(backend, DistanceSketch):
             self.sketch = backend
             self.graph = backend.g
         elif isinstance(backend, SpannerDistanceOracle):
@@ -113,8 +127,13 @@ class QueryEngine:
             self.graph = backend
         else:
             raise TypeError(
-                f"backend must be a WeightedGraph, SpannerDistanceOracle or "
-                f"DistanceSketch, got {type(backend).__name__}"
+                f"backend must be a WeightedGraph, SpannerDistanceOracle, "
+                f"DistanceSketch or ProviderBundle, got {type(backend).__name__}"
+            )
+        if target is not None and self.planner is None:
+            raise ValueError(
+                "a plan target needs a ProviderBundle backend (persist the "
+                "artifact with kind='bundle' to serve all backends)"
             )
         if shards < 0:
             raise ValueError("shards must be >= 0")
@@ -150,12 +169,15 @@ class QueryEngine:
         cache_rows: int = SpannerDistanceOracle.DEFAULT_CACHE_ROWS,
         shards: int = 0,
         mmap: bool = True,
+        target: PlanTarget | None = None,
     ) -> "QueryEngine":
-        """Load an artifact (``oracle`` or ``sketch``) and serve it.
+        """Load an artifact (``oracle``, ``sketch`` or ``bundle``) and serve it.
 
         ``store`` is an :class:`~repro.service.store.ArtifactStore` or a
         path to one.  ``mmap=True`` (default) serves straight off memmap
         views of the artifact files; see :meth:`ArtifactStore.load`.
+        ``target`` (bundle artifacts only) configures the planner; see
+        :class:`~repro.service.provider.PlanTarget`.
         """
         from .store import ArtifactStore
 
@@ -164,7 +186,9 @@ class QueryEngine:
         info = store.info(key)
         backend = store.load(key, mmap=mmap)
         meta = {"artifact_key": key, "artifact_kind": info.kind, **info.meta}
-        return cls(backend, cache_rows=cache_rows, shards=shards, meta=meta)
+        return cls(
+            backend, cache_rows=cache_rows, shards=shards, meta=meta, target=target
+        )
 
     # ------------------------------------------------------------------
     # Row solving (cache + shards)
@@ -213,25 +237,54 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def query(self, u: int, v: int) -> float:
-        """Approximate distance between ``u`` and ``v``."""
+    def backends(self) -> tuple[str, ...]:
+        """Names a per-query ``backend`` override may use (empty for
+        single-backend engines)."""
+        if self.planner is None:
+            return ()
+        return tuple(sorted(self.planner.providers))
+
+    def _check_backend(self, backend: str | None) -> None:
+        if backend is None:
+            return
+        if self.planner is None:
+            raise ValueError(
+                "this engine serves a single fixed backend; load a 'bundle' "
+                "artifact to route per-query backends"
+            )
+        if backend not in self.planner.providers:
+            raise ValueError(
+                f"unknown backend {backend!r} (have: {', '.join(self.backends())})"
+            )
+
+    def query(self, u: int, v: int, *, backend: str | None = None) -> float:
+        """Approximate distance between ``u`` and ``v``.
+
+        ``backend`` overrides the planner's routing for this query
+        (bundle-backed engines only).
+        """
         if not (0 <= u < self.n and 0 <= v < self.n):
             raise ValueError("vertex out of range")
+        self._check_backend(backend)
         self.queries_served += 1
+        if self.planner is not None:
+            return self.planner.query(u, v, backend=backend)
         if self.sketch is not None:
             return self.sketch.query(u, v)
         return float(self._row(u)[v])
 
-    def query_many(self, pairs) -> np.ndarray:
+    def query_many(self, pairs, *, backend: str | None = None) -> np.ndarray:
         """Batched :meth:`query` over an ``(r, 2)`` pair array.
 
         Row backends plan the batch: pairs are grouped by source, rows
         already cached are gathered immediately, and the distinct missing
         sources go to *one* ``batched_sssp`` dispatch (sharded across the
         worker pool when configured), landing in the cache for later
-        single queries.
+        single queries.  Bundle-backed engines route the whole batch
+        through the planner; ``backend`` pins it to one fixed backend.
         """
         pairs = np.asarray(pairs, dtype=np.int64)
+        self._check_backend(backend)
         if pairs.size == 0:
             return np.zeros(0)
         pairs = pairs.reshape(-1, 2)
@@ -242,7 +295,9 @@ class QueryEngine:
         start = time.perf_counter()
         rows_before = self.rows_solved
         solve_before = self.solve_wall_s
-        if self.sketch is not None:
+        if self.planner is not None:
+            out = self.planner.query_many(pairs, backend=backend)
+        elif self.sketch is not None:
             out = self.sketch.query_many(pairs)
         else:
             # Shared planning with the oracle (repro.core.cache): one
@@ -273,17 +328,41 @@ class QueryEngine:
 
         The ``timing`` and ``batch_sizes`` keys are the cumulative
         latency/batch accounting the socket server's SLO report reads;
-        every pre-existing key is unchanged.
+        every pre-existing key is unchanged.  Bundle-backed engines report
+        ``backend="planned"`` plus a ``planner`` key with per-backend
+        counters, and aggregate the row providers' caches under ``cache``.
         """
+        if self.planner is not None:
+            backend_name = "planned"
+            # The engine's own cache is idle in planner mode — the row
+            # providers keep their own.  Aggregate them so dashboards and
+            # the CLI hit-rate line keep one place to look.
+            caches = [
+                p.cache.stats()
+                for p in self.planner.providers.values()
+                if hasattr(p, "cache")
+            ]
+            cache_stats = {
+                key: sum(c[key] for c in caches)
+                for key in ("capacity", "entries", "hits", "misses", "evictions")
+            }
+            total = cache_stats["hits"] + cache_stats["misses"]
+            cache_stats["hit_rate"] = (
+                round(cache_stats["hits"] / total, 4) if total else 0.0
+            )
+        else:
+            backend_name = "sketch" if self.sketch is not None else "rows"
+            cache_stats = self._cache.stats()
         return {
-            "backend": "sketch" if self.sketch is not None else "rows",
+            "backend": backend_name,
             "n": self.n,
             "m": self.graph.m,
             "shards": self.shards,
             "queries_served": self.queries_served,
             "batches": self.batches,
             "rows_solved": self.rows_solved,
-            "cache": self._cache.stats(),
+            "cache": cache_stats,
+            **({"planner": self.planner.stats()} if self.planner is not None else {}),
             "timing": {
                 "query_many_wall_s": round(self.query_many_wall_s, 6),
                 "solve_wall_s": round(self.solve_wall_s, 6),

@@ -34,10 +34,21 @@ Protocol (one JSON object per line, ``id`` echoed back verbatim):
 
     -> {"op": "query", "u": 3, "v": 9, "id": 1}
     <- {"id": 1, "d": 2.75}
-    -> {"op": "stats", "id": 2}
-    <- {"id": 2, "stats": {...latency_ms, qps, batch_size_hist, engine...}}
-    -> {"op": "ping", "id": 3}
-    <- {"id": 3, "pong": true}
+    -> {"op": "query", "u": 3, "v": 9, "backend": "sketch", "id": 2}
+    <- {"id": 2, "d": 3.5}
+    -> {"op": "stats", "id": 3}
+    <- {"id": 3, "stats": {...latency_ms, qps, backend_served, engine...}}
+    -> {"op": "ping", "id": 4}
+    <- {"id": 4, "pong": true}
+
+The optional ``"backend"`` field pins one query to a fixed answer path
+(``exact``/``oracle``/``sketch``/``tiered``) when the engine serves a
+bundle artifact; omitting it leaves routing to the engine's planner.
+Requests naming a backend the engine does not serve are rejected with an
+error reply.  The micro-batcher groups each flushed window by backend —
+one ``query_many`` per group — and the ``stats`` verb reports
+per-backend served counters (``backend_served``) next to the engine's
+planner routing stats.
 
 Disconnected pairs answer ``{"d": null}`` (JSON has no ``Infinity``).
 Malformed lines never kill the connection: they get
@@ -57,6 +68,7 @@ import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -87,11 +99,16 @@ def latency_summary(latencies_s) -> dict:
 
 
 def parse_hostport(text: str, *, default_host: str = "127.0.0.1") -> tuple[str, int]:
-    """``HOST:PORT`` (or bare ``PORT``) -> ``(host, port)``."""
+    """``HOST:PORT``, ``[V6]:PORT`` or bare ``PORT`` -> ``(host, port)``."""
     host, sep, port_s = text.rpartition(":")
     if not sep:
         host, port_s = default_host, text
     host = host or default_host
+    # Bracketed IPv6 literals: the brackets are address syntax for the
+    # HOST:PORT split only — asyncio.start_server wants the bare address
+    # ("[::1]" is not a valid bind host).
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1] or default_host
     try:
         port = int(port_s)
     except ValueError:
@@ -110,6 +127,7 @@ class _Request:
     rid: object
     writer: asyncio.StreamWriter
     t0: float  # perf_counter at admission; latency runs to reply write
+    backend: str | None = None  # pinned answer path, None = planner routes
 
 
 def _encode(payload: dict) -> bytes:
@@ -192,6 +210,7 @@ class QueryServer:
         self.batches_flushed = 0
         self.latencies_s: list[float] = []
         self.batch_size_hist: dict[int, int] = {}
+        self.backend_served: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -252,6 +271,7 @@ class QueryServer:
         self.batches_flushed = 0
         self.latencies_s = []
         self.batch_size_hist = {}
+        self.backend_served = {}
         self._t0 = time.perf_counter()
 
     def stats(self) -> dict:
@@ -272,6 +292,9 @@ class QueryServer:
             "latency_ms": latency_summary(self.latencies_s),
             "batch_size_hist": {
                 str(k): v for k, v in sorted(self.batch_size_hist.items())
+            },
+            "backend_served": {
+                k: self.backend_served[k] for k in sorted(self.backend_served)
             },
             "draining": self._draining,
             "engine": self.engine.stats(),
@@ -337,13 +360,25 @@ class QueryServer:
             return f"u and v must be integers, got u={u!r} v={v!r}"
         if not (0 <= u < self.engine.n and 0 <= v < self.engine.n):
             return f"vertex out of range for n={self.engine.n}: u={u} v={v}"
+        backend = msg.get("backend")
+        if backend is not None:
+            if not isinstance(backend, str):
+                return f"backend must be a string, got {backend!r}"
+            have = self.engine.backends() if hasattr(self.engine, "backends") else ()
+            if backend not in have:
+                if not have:
+                    return (
+                        "this server answers from a single fixed backend; "
+                        "serve a 'bundle' artifact to route per-query backends"
+                    )
+                return f"unknown backend {backend!r} (have: {', '.join(have)})"
         if self._draining:
             self.rejected += 1
             return "draining"
         if len(self._pending) >= self.max_pending:
             self.rejected += 1
             return "overloaded"
-        self._pending.append(_Request(u, v, rid, writer, time.perf_counter()))
+        self._pending.append(_Request(u, v, rid, writer, time.perf_counter(), backend))
         self._arm()
         return None
 
@@ -389,32 +424,53 @@ class QueryServer:
 
         Requests arriving while a solve is in the executor are picked up
         by the next loop iteration immediately — under load the window
-        deadline never waits, batches just track the backlog.
+        deadline never waits, batches just track the backlog.  Windows
+        mixing pinned backends split into one ``query_many`` per backend
+        (planner-routed requests form their own group), so a pin never
+        changes another client's answer path.
         """
         while self._pending:
             if self.micro_batch:
                 take = min(self.max_batch, len(self._pending))
                 batch = [self._pending.popleft() for _ in range(take)]
-                pairs = np.array([(r.u, r.v) for r in batch], dtype=np.int64)
-                answers = await self._loop.run_in_executor(
-                    self._exec, self.engine.query_many, pairs
-                )
-                self._deliver(batch, answers)
+                groups: dict[str | None, list[_Request]] = {}
+                for req in batch:
+                    groups.setdefault(req.backend, []).append(req)
+                for backend, group in groups.items():
+                    pairs = np.array([(r.u, r.v) for r in group], dtype=np.int64)
+                    # Pass the backend kwarg only when pinned, so engine
+                    # wrappers unaware of multi-backend routing keep working.
+                    call = (
+                        partial(self.engine.query_many, pairs)
+                        if backend is None
+                        else partial(self.engine.query_many, pairs, backend=backend)
+                    )
+                    answers = await self._loop.run_in_executor(self._exec, call)
+                    self._deliver(group, answers, backend=backend)
             else:
                 # The naive duel baseline: one engine.query dispatch and
                 # one write+drain per request, strictly serialized.
                 req = self._pending.popleft()
-                d = await self._loop.run_in_executor(
-                    self._exec, self.engine.query, req.u, req.v
+                call = (
+                    partial(self.engine.query, req.u, req.v)
+                    if req.backend is None
+                    else partial(
+                        self.engine.query, req.u, req.v, backend=req.backend
+                    )
                 )
-                self._deliver([req], [d])
+                d = await self._loop.run_in_executor(self._exec, call)
+                self._deliver([req], [d], backend=req.backend)
                 await self._drain_writer(req.writer)
         self._flush_task = None
 
-    def _deliver(self, batch: list[_Request], answers) -> None:
+    def _deliver(
+        self, batch: list[_Request], answers, *, backend: str | None = None
+    ) -> None:
         now = time.perf_counter()
         self.batches_flushed += 1
         self.batch_size_hist[len(batch)] = self.batch_size_hist.get(len(batch), 0) + 1
+        label = backend or "auto"
+        self.backend_served[label] = self.backend_served.get(label, 0) + len(batch)
         by_writer: dict[asyncio.StreamWriter, list[bytes]] = {}
         for req, d in zip(batch, answers):
             d = float(d)
@@ -496,8 +552,13 @@ class AsyncClient:
         msg, _ = await fut
         return msg
 
-    async def query(self, u: int, v: int) -> float | None:
-        reply = await self.request({"op": "query", "u": u, "v": v})
+    async def query(
+        self, u: int, v: int, *, backend: str | None = None
+    ) -> float | None:
+        payload = {"op": "query", "u": u, "v": v}
+        if backend is not None:
+            payload["backend"] = backend
+        reply = await self.request(payload)
         if "error" in reply:
             raise RuntimeError(reply["error"])
         return reply["d"]

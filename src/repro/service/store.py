@@ -19,7 +19,7 @@ values fit are downcast to int32 once, at save time (the serving layers
 preserve the dtype end to end), halving the index footprint for every
 graph with ``n < 2**31``.
 
-Two artifact kinds:
+Three artifact kinds:
 
 ``oracle``
     A built spanner graph plus its ``(k, t)`` parameters — everything a
@@ -31,6 +31,13 @@ Two artifact kinds:
     :class:`~repro.distances.sketches.DistanceSketch`: hierarchy levels,
     pivot tables and the CSR bunch arrays, plus the (spanner) graph it was
     built on.  Reloading skips all preprocessing.
+``bundle``
+    All three answer paths side by side under one key: the *input* graph
+    (exact Dijkstra rows), the built spanner + parameters (oracle rows),
+    and the full sketch state (pivot walks) — loaded back as a
+    :class:`~repro.service.provider.ProviderBundle` so one artifact
+    serves ``exact``/``oracle``/``sketch``/``tiered`` and the planner can
+    route between them (see :mod:`repro.service.provider`).
 
 Keys default to a content hash of the artifact's build configuration
 (:func:`config_key` — the same ``sha256(json)[:16]`` recipe as
@@ -68,15 +75,19 @@ __all__ = ["ArtifactStore", "ArtifactInfo", "config_key", "STORE_FORMAT_VERSION"
 #: when their values fit.
 STORE_FORMAT_VERSION = 2
 
-_KINDS = ("oracle", "sketch")
+_KINDS = ("oracle", "sketch", "bundle")
 _MANIFEST = "manifest.json"
 _ARRAYS = "arrays.npz"  # v1 payload, read-compatible
 _ARRAYS_DIR = "arrays"
 
 #: Arrays holding vertex ids / CSR offsets — eligible for the int32
 #: downcast.  Float payloads and the format scalars are never touched.
+#: ``sp_``/``sk_`` are the bundle kind's spanner/sketch namespaces.
 _INDEX_ARRAYS = frozenset(
     {"u", "v", "levels_flat", "level_sizes", "pivot", "bunch_indptr", "bunch_centers"}
+    | {"sp_u", "sp_v"}
+    | {"sk_levels_flat", "sk_level_sizes", "sk_pivot", "sk_bunch_indptr",
+       "sk_bunch_centers"}
 )
 
 
@@ -128,6 +139,44 @@ def _graph_payload(g: WeightedGraph) -> dict:
         "v": g.edges_v,
         "w": g.edges_w,
     }
+
+
+def _sketch_payload(sketch: DistanceSketch, *, prefix: str = "") -> dict:
+    """The full Thorup–Zwick state as store arrays (``prefix`` namespaces
+    the bundle kind's sketch arrays next to the graph/spanner payloads)."""
+    return {
+        f"{prefix}k": np.int64(sketch.k),
+        f"{prefix}level_sizes": np.asarray(
+            [lv.size for lv in sketch.levels], dtype=np.int64
+        ),
+        f"{prefix}levels_flat": (
+            np.concatenate(sketch.levels)
+            if sketch.levels
+            else np.zeros(0, dtype=np.int64)
+        ),
+        f"{prefix}pivot": sketch.pivot,
+        f"{prefix}pivot_dist": sketch.pivot_dist,
+        f"{prefix}bunch_indptr": sketch.bunch_indptr,
+        f"{prefix}bunch_centers": sketch.bunch_centers,
+        f"{prefix}bunch_dists": sketch.bunch_dists,
+    }
+
+
+def _sketch_from_payload(g: WeightedGraph, data: dict, *, prefix: str = "") -> DistanceSketch:
+    sizes = np.asarray(data[f"{prefix}level_sizes"])
+    flat = _as_index(data[f"{prefix}levels_flat"])
+    bounds = np.concatenate([[0], np.cumsum(sizes, dtype=np.int64)])
+    levels = [flat[bounds[i] : bounds[i + 1]] for i in range(sizes.size)]
+    return DistanceSketch.from_arrays(
+        g,
+        int(data[f"{prefix}k"]),
+        levels,
+        data[f"{prefix}pivot"],
+        data[f"{prefix}pivot_dist"],
+        data[f"{prefix}bunch_indptr"],
+        data[f"{prefix}bunch_centers"],
+        data[f"{prefix}bunch_dists"],
+    )
 
 
 def _graph_from_payload(data) -> WeightedGraph:
@@ -296,27 +345,52 @@ class ArtifactStore:
             }
         )
         arrays = _graph_payload(sketch.g)
-        arrays.update(
-            {
-                "k": np.int64(sketch.k),
-                "level_sizes": np.asarray(
-                    [lv.size for lv in sketch.levels], dtype=np.int64
-                ),
-                "levels_flat": (
-                    np.concatenate(sketch.levels)
-                    if sketch.levels
-                    else np.zeros(0, dtype=np.int64)
-                ),
-                "pivot": sketch.pivot,
-                "pivot_dist": sketch.pivot_dist,
-                "bunch_indptr": sketch.bunch_indptr,
-                "bunch_centers": sketch.bunch_centers,
-                "bunch_dists": sketch.bunch_dists,
-            }
-        )
+        arrays.update(_sketch_payload(sketch))
         if key is None:
             key = config_key({"kind": "sketch", **{k_: meta[k_] for k_ in sorted(meta)}})
         return self._write(key, "sketch", arrays, meta)
+
+    def save_bundle(
+        self,
+        g: WeightedGraph,
+        spanner: WeightedGraph,
+        sketch: DistanceSketch,
+        *,
+        k: int,
+        t: int | None = None,
+        t_effective: int | None = None,
+        key: str | None = None,
+        meta: dict | None = None,
+    ) -> str:
+        """Persist all three answer paths under one key; returns the key.
+
+        ``g`` is the input graph (exact rows), ``spanner`` the built
+        spanner with its ``(k, t)`` parameters (oracle rows), ``sketch``
+        a :class:`DistanceSketch` built on ``g`` (pivot walks answer with
+        their own ``2 k_sketch - 1`` bound).
+        """
+        if spanner.n != g.n or sketch.g.n != g.n:
+            raise ValueError("bundle parts must span the same vertex set")
+        meta = dict(meta or {})
+        meta.update(
+            {
+                "k": int(k),
+                "t": None if t is None else int(t),
+                "t_effective": int(t_effective if t_effective is not None else (t or k)),
+                "n": g.n,
+                "graph_edges": g.m,
+                "spanner_edges": spanner.m,
+                "sketch_k": sketch.k,
+                "sketch_words": sketch.size_words,
+            }
+        )
+        arrays = _graph_payload(g)
+        arrays.update({"sp_u": spanner.edges_u, "sp_v": spanner.edges_v,
+                       "sp_w": spanner.edges_w})
+        arrays.update(_sketch_payload(sketch, prefix="sk_"))
+        if key is None:
+            key = config_key({"kind": "bundle", **{k_: meta[k_] for k_ in sorted(meta)}})
+        return self._write(key, "bundle", arrays, meta)
 
     # ------------------------------------------------------------------
     # Loading
@@ -343,9 +417,11 @@ class ArtifactStore:
     def load(self, key: str, *, cache_rows: int | None = None, mmap: bool = True):
         """Reconstruct the query structure behind ``key``.
 
-        Returns a :class:`SpannerDistanceOracle` (``oracle`` artifacts) or
-        a :class:`DistanceSketch` (``sketch`` artifacts); both answer
-        queries bit-identically to the object that was saved.
+        Returns a :class:`SpannerDistanceOracle` (``oracle`` artifacts),
+        a :class:`DistanceSketch` (``sketch`` artifacts) or a
+        :class:`~repro.service.provider.ProviderBundle` (``bundle``
+        artifacts); all answer queries bit-identically to the objects
+        that were saved.
 
         With ``mmap=True`` (default) the arrays are read-only memmap views
         over the artifact files — loading is lazy and N serving processes
@@ -367,20 +443,26 @@ class ArtifactStore:
                 t_effective=int(info.meta["t_effective"]),
                 **kwargs,
             )
-        sizes = np.asarray(data["level_sizes"])
-        flat = _as_index(data["levels_flat"])
-        bounds = np.concatenate([[0], np.cumsum(sizes, dtype=np.int64)])
-        levels = [flat[bounds[i] : bounds[i + 1]] for i in range(sizes.size)]
-        return DistanceSketch.from_arrays(
-            g,
-            int(data["k"]),
-            levels,
-            data["pivot"],
-            data["pivot_dist"],
-            data["bunch_indptr"],
-            data["bunch_centers"],
-            data["bunch_dists"],
-        )
+        if info.kind == "bundle":
+            from .provider import ProviderBundle
+
+            spanner = WeightedGraph.from_canonical(
+                g.n,
+                _as_index(data["sp_u"]),
+                _as_index(data["sp_v"]),
+                np.asarray(data["sp_w"]).astype(np.float64, copy=False),
+            )
+            t = info.meta.get("t")
+            return ProviderBundle(
+                graph=g,
+                spanner=spanner,
+                k=int(info.meta["k"]),
+                t=None if t is None else int(t),
+                t_effective=int(info.meta["t_effective"]),
+                sketch=_sketch_from_payload(g, data, prefix="sk_"),
+                meta=dict(info.meta),
+            )
+        return _sketch_from_payload(g, data)
 
     def load_oracle(self, key: str, *, cache_rows: int | None = None, mmap: bool = True):
         obj = self.load(key, cache_rows=cache_rows, mmap=mmap)
@@ -392,6 +474,14 @@ class ArtifactStore:
         obj = self.load(key, mmap=mmap)
         if not isinstance(obj, DistanceSketch):
             raise ValueError(f"artifact {key!r} is a {self.info(key).kind}, not a sketch")
+        return obj
+
+    def load_bundle(self, key: str, *, mmap: bool = True):
+        from .provider import ProviderBundle
+
+        obj = self.load(key, mmap=mmap)
+        if not isinstance(obj, ProviderBundle):
+            raise ValueError(f"artifact {key!r} is a {self.info(key).kind}, not a bundle")
         return obj
 
     def delete(self, key: str) -> None:

@@ -306,3 +306,91 @@ class TestVerify:
         assert main(argv + ["--resume"]) == 0  # opt-in reuse for interruptions
         resumed = json.loads(capsys.readouterr().out)
         assert resumed["ok"] is True
+
+
+class TestFailedCheckOutput:
+    """A failing bound check must read as a failure: the table marks the
+    row ``FAIL`` (not the old ``XXX`` placeholder) and the process exits
+    nonzero."""
+
+    def test_fail_marker_and_nonzero_exit(self, capsys):
+        from repro.registry import AlgorithmClaims
+
+        from tests.test_verify import _drop_heaviest_edge, temporary_algorithm
+
+        claims = AlgorithmClaims(
+            stretch=lambda ctx: 2.0 * ctx.k - 1.0,
+            size=lambda ctx: float(ctx.m),
+            source="injected",
+        )
+        with temporary_algorithm("broken-cli-stretch", _drop_heaviest_edge, claims=claims):
+            rc = main(
+                [
+                    "verify", "--algorithm", "broken-cli-stretch",
+                    "--graph", "cycle:16", "-k", "2", "--weights", "unit",
+                ]
+            )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "[FAIL] stretch" in out
+        assert "XXX" not in out
+
+    def test_passing_rows_still_marked_ok(self, capsys):
+        rc = main(
+            ["verify", "--algorithm", "baswana-sen", "--graph", "er:48:0.2", "-k", "3"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[ok  ]" in out and "FAIL" not in out
+
+
+class TestJsonSafety:
+    """CLI JSON must be spec-valid: non-finite floats serialize as null,
+    never as the bare ``Infinity``/``NaN`` tokens json.dumps emits."""
+
+    def test_json_safe_helper(self):
+        import math
+
+        from repro.cli import _json_safe
+
+        out = _json_safe(
+            {
+                "inf": math.inf,
+                "ninf": -math.inf,
+                "nan": math.nan,
+                "nested": [math.inf, {"deep": (1.5, math.nan)}],
+                "fine": [0, 1.5, "inf", None, True],
+            }
+        )
+        assert out["inf"] is None and out["ninf"] is None and out["nan"] is None
+        assert out["nested"] == [None, {"deep": [1.5, None]}]
+        assert out["fine"] == [0, 1.5, "inf", None, True]
+        assert "Infinity" not in json.dumps(out)
+
+    def test_verify_json_with_infinite_stretch_is_parseable(self, capsys):
+        # Disconnecting spanners measure infinite stretch; the --json body
+        # must still parse (measured -> null), where it used to emit the
+        # invalid bare Infinity token.
+        from repro.registry import AlgorithmClaims
+
+        from tests.test_verify import _drop_half_edges, temporary_algorithm
+
+        claims = AlgorithmClaims(
+            stretch=lambda ctx: 100.0,
+            size=lambda ctx: float(ctx.m),
+            source="injected",
+        )
+        with temporary_algorithm("broken-cli-disconnect", _drop_half_edges, claims=claims):
+            rc = main(
+                [
+                    "verify", "--algorithm", "broken-cli-disconnect",
+                    "--graph", "cycle:12", "-k", "3", "--json",
+                ]
+            )
+        raw = capsys.readouterr().out
+        assert rc == 1
+        assert "Infinity" not in raw
+        payload = json.loads(raw)  # would raise on bare Infinity
+        assert payload["ok"] is False
+        stretch = next(c for c in payload["checks"] if c["name"] == "stretch")
+        assert stretch["measured"] is None

@@ -265,6 +265,15 @@ class TestProtocol:
         with pytest.raises(ValueError):
             parse_hostport("host:70000")
 
+    def test_parse_hostport_bracketed_ipv6(self):
+        # rpartition-on-":" used to leave the brackets in the host, which
+        # asyncio.start_server then fails to resolve.
+        assert parse_hostport("[::1]:9000") == ("::1", 9000)
+        assert parse_hostport("[2001:db8::1]:80") == ("2001:db8::1", 80)
+        assert parse_hostport("[]:8000") == ("127.0.0.1", 8000)
+        with pytest.raises(ValueError):
+            parse_hostport("[::1]:nope")
+
     def test_latency_summary(self):
         assert latency_summary([]) == {"count": 0}
         out = latency_summary([0.001, 0.002, 0.003])
@@ -405,3 +414,100 @@ class TestSocketCLI:
         assert proc.returncode == 0
         final = json.loads(err.strip().splitlines()[-1])
         assert final["drained"] is True and final["served"] >= 30
+
+
+class TestBackendRouting:
+    """The ``"backend"`` request field on a bundle-backed server: pinned
+    queries split into per-backend micro-batches, answers stay
+    bit-identical to the offline providers, and the ``stats`` verb reports
+    per-backend served counters."""
+
+    @pytest.fixture()
+    def bundle(self, g):
+        from repro.distances.sketches import DistanceSketch
+        from repro.service import ProviderBundle
+
+        return ProviderBundle(
+            graph=g,
+            spanner=g,
+            k=3,
+            t=2,
+            t_effective=2,
+            sketch=DistanceSketch(g, 3, rng=0),
+        )
+
+    def test_pinned_backends_served_and_counted(self, g, bundle):
+        from repro.service import build_providers
+
+        engine = QueryEngine(bundle)
+        pairs = [((i * 7) % g.n, (i * 13) % g.n) for i in range(24)]
+        payloads = [
+            {"op": "query", "u": u, "v": v, "backend": b}
+            for (u, v), b in zip(
+                pairs, ["exact", "oracle", "sketch", None] * 6
+            )
+        ]
+        for p in payloads:
+            if p["backend"] is None:
+                del p["backend"]
+
+        async def run():
+            async with QueryServer(engine, window_s=0.02, max_batch=64) as server:
+                replies = await _burst(server, payloads)
+                stats = server.stats()
+                return replies, stats
+
+        replies, stats = asyncio.run(run())
+        engine.close()
+        assert all("d" in r for r in replies)
+        # Per-backend counters: 6 pinned each + 6 planner-routed.
+        served = stats["backend_served"]
+        assert served["exact"] == served["oracle"] == served["sketch"] == 6
+        assert served["auto"] == 6
+        # Served answers bit-identical to the offline providers.
+        offline = build_providers(bundle)
+        for backend in ("exact", "oracle", "sketch"):
+            want = offline[backend].query_many(
+                np.array([p for p, pay in zip(pairs, payloads)
+                          if pay.get("backend") == backend])
+            )
+            got = np.array([
+                np.inf if r["d"] is None else r["d"]
+                for r, pay in zip(replies, payloads)
+                if pay.get("backend") == backend
+            ])
+            assert np.array_equal(got, want), backend
+
+    def test_unknown_backend_is_rejected(self, bundle):
+        engine = QueryEngine(bundle)
+
+        async def run():
+            async with QueryServer(engine, window_s=0.005) as server:
+                return await _burst(
+                    server,
+                    [
+                        {"op": "query", "u": 0, "v": 1, "backend": "bogus"},
+                        {"op": "query", "u": 0, "v": 1, "backend": 7},
+                        {"op": "query", "u": 0, "v": 1, "backend": "exact"},
+                    ],
+                )
+
+        bogus, nonstr, ok = asyncio.run(run())
+        engine.close()
+        assert "unknown backend 'bogus'" in bogus["error"]
+        assert "must be a string" in nonstr["error"]
+        assert "d" in ok
+
+    def test_single_backend_server_rejects_backend(self, oracle):
+        engine = QueryEngine(oracle)
+
+        async def run():
+            async with QueryServer(engine, window_s=0.005) as server:
+                return await _burst(
+                    server,
+                    [{"op": "query", "u": 0, "v": 1, "backend": "sketch"}],
+                )
+
+        (reply,) = asyncio.run(run())
+        engine.close()
+        assert "single fixed backend" in reply["error"]

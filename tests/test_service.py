@@ -447,3 +447,84 @@ class TestServiceCLI:
         )
         with pytest.raises(SystemExit, match="--out"):
             main(["sweep", "--plan", str(plan_path), "--persist"])
+
+
+class TestBundleCLI:
+    """The ``--kind bundle`` artifact and the planner flags on ``repro
+    query``: per-backend routing, declarative targets, and the guard that
+    routing flags require a bundle."""
+
+    GRAPH = "er:96:0.1"
+
+    def _query(self, store, extra, capsys):
+        rc = main(
+            [
+                "query", "--store", str(store), "--graph", self.GRAPH,
+                "--algorithm", "general", "-k", "3", "--kind", "bundle",
+                "--json", *extra,
+            ]
+        )
+        return rc, json.loads(capsys.readouterr().out)
+
+    def test_backends_share_one_artifact(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        pairs = ["--pairs", "0:5,3:9,7:7"]
+        rc, exact = self._query(
+            store, ["--build", "--backend", "exact", *pairs], capsys
+        )
+        assert rc == 0 and exact["built"] is True
+        assert exact["stats"]["backend"] == "planned"
+        assert exact["stats"]["planner"]["routed"]["exact"] == 3
+        assert exact["answers"][2] == 0.0  # self-pair
+
+        rc, sketch = self._query(store, ["--backend", "sketch", *pairs], capsys)
+        assert rc == 0 and sketch["built"] is False
+        assert sketch["key"] == exact["key"]  # one bundle serves both
+        assert sketch["stats"]["planner"]["routed"]["sketch"] == 3
+        for s, e in zip(sketch["answers"], exact["answers"]):
+            if s is None or e is None:  # unreachable agrees
+                assert s is None and e is None
+            else:
+                assert s >= e - 1e-9  # sketch upper-bounds exact
+
+    def test_stretch_target_routes_within_bound(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        rc, out = self._query(
+            store, ["--build", "--stretch", "1.0", "--num-pairs", "8"], capsys
+        )
+        assert rc == 0
+        planner = out["stats"]["planner"]
+        assert "stretch<=1" in planner["target"]
+        # Only exact declares stretch <= 1: everything routes there.
+        assert planner["routed"]["exact"] == 8
+        assert sum(planner["routed"].values()) == 8
+
+    def test_routing_flags_require_bundle_artifact(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        rc = main(
+            [
+                "query", "--store", str(store), "--graph", self.GRAPH,
+                "--algorithm", "general", "-k", "3", "--build",
+                "--num-pairs", "4", "--json",
+            ]
+        )
+        capsys.readouterr()
+        assert rc == 0  # plain oracle artifact
+        with pytest.raises(SystemExit, match="bundle"):
+            main(
+                [
+                    "query", "--store", str(store), "--graph", self.GRAPH,
+                    "--algorithm", "general", "-k", "3",
+                    "--backend", "exact", "--num-pairs", "4",
+                ]
+            )
+
+    def test_invalid_target_flags_exit_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query", "--store", str(tmp_path / "s"), "--graph", self.GRAPH,
+                    "--algorithm", "general", "-k", "3", "--kind", "bundle",
+                    "--build", "--stretch", "0.5", "--num-pairs", "2",
+                ]
+            )
