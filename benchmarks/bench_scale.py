@@ -35,14 +35,26 @@ measures that claim directly, per measurement point:
 4. **Serve** — serial vs sharded ``query_many`` over a bounded-source
    workload: wall, q/s, and the sharded == serial bit-identity gate.
 
-The full run measures two points: the BENCH_service reference graph
-(``er:1024:0.02``, shards=4 — the ISSUE 6 acceptance point) and a big-n
+Points whose config declares a ``budget`` run a different, *budget-gated*
+protocol instead: a fresh subprocess with ``REPRO_MEM_BUDGET`` pinned to
+the declared budget builds the graph, builds + persists the oracle,
+reloads it, and answers probe pairs — and its whole-life peak RSS
+(``service.mem.peak_rss_bytes``) must stay **under the declared budget**
+(``budget_gate``).  The same cell records per-edge build throughput,
+gated at >= ``THROUGHPUT_GATE`` x the ``scale`` point's rate
+(``throughput_gate``), and re-checks in-process that budget-autotuned
+chunked ``batched_sssp`` is bit-identical to forced tiny chunks at
+small n.
+
+The full run measures three points: the BENCH_service reference graph
+(``er:1024:0.02``, shards=4 — the ISSUE 6 acceptance point), a big-n
 point (``gnm:200000:1000000``), where the legacy recipe pays hundreds of
-MB and the shared-memory engine pays ~2 MB.
+MB and the shared-memory engine pays ~2 MB, and the budget-gated
+million-node cell (``gnm:1000000:4000000``).
 
 Run directly::
 
-    PYTHONPATH=src python benchmarks/bench_scale.py [--smoke]
+    PYTHONPATH=src python benchmarks/bench_scale.py [--smoke] [--points million]
 """
 
 from __future__ import annotations
@@ -70,9 +82,12 @@ __all__ = [
     "format_table",
     "scale_gate",
     "identity_gate",
+    "budget_gate",
+    "throughput_gate",
     "graph_footprint",
     "probe_pairs",
     "SCALE_GATE",
+    "THROUGHPUT_GATE",
     "WORKER_EPS_BYTES",
 ]
 
@@ -87,6 +102,11 @@ SCALE_GATE = 1.3
 #: ~0.6 MB per worker and independent of graph size — the ε in
 #: "O(graph + ε)".
 WORKER_EPS_BYTES = int(1.5 * 2**20)
+
+#: The million-node cell's per-edge build throughput must stay at least
+#: this fraction of the ``scale`` point's (n=2x10^5) rate — chunking for
+#: memory must not trade away asymptotic build speed.
+THROUGHPUT_GATE = 0.5
 
 #: Each measurement point: the spanner-oracle build config, the shard
 #: count under test, and a bounded-source query workload (``sources``
@@ -113,6 +133,18 @@ FULL_CONFIG = {
             "pairs": 4_000,
             "probe_pairs": 1_000,
         },
+        # Budget-gated protocol (the ``budget`` key selects it): whole
+        # build+persist+load+query life under REPRO_MEM_BUDGET in a fresh
+        # subprocess, peak RSS gated against the declared budget.
+        "million": {
+            "graph": "gnm:1000000:4000000",
+            "k": 4,
+            "t": 2,
+            "budget": "4G",
+            "sources": 16,
+            "probe_pairs": 500,
+            "identity_n": 2_000,
+        },
     },
 }
 SMOKE_CONFIG = {
@@ -126,6 +158,17 @@ SMOKE_CONFIG = {
             "sources": 8,
             "pairs": 800,
             "probe_pairs": 200,
+        },
+        # CI keeps the real n=10^6 budget gate, just with a thinner edge
+        # set and probe workload than the full run.
+        "million": {
+            "graph": "gnm:1000000:2000000",
+            "k": 3,
+            "t": 2,
+            "budget": "4G",
+            "sources": 8,
+            "probe_pairs": 100,
+            "identity_n": 500,
         },
     },
 }
@@ -248,6 +291,132 @@ def _load_probe(
     return json.loads(proc.stdout.strip().splitlines()[-1])
 
 
+# ----------------------------------------------------------------------
+# Budget probe (fresh subprocess: REPRO_MEM_BUDGET pinned, clean peak RSS)
+# ----------------------------------------------------------------------
+_BUDGET_PROBE_SCRIPT = """
+import hashlib, json, sys, time
+import numpy as np
+
+sys.path.insert(0, sys.argv[1])
+from repro.core import membudget
+from repro.distances import SpannerDistanceOracle
+from repro.graphs.specs import GraphSpec
+from repro.service import ArtifactStore, QueryEngine
+from repro.service.mem import peak_rss_bytes
+
+spec, k, t, seed = sys.argv[2], int(sys.argv[3]), int(sys.argv[4]), int(sys.argv[5])
+store_path, count, sources = sys.argv[6], int(sys.argv[7]), int(sys.argv[8])
+
+budget = membudget.resolve_budget()  # REPRO_MEM_BUDGET set by the parent
+
+t0 = time.perf_counter()
+g = GraphSpec.parse(spec).build(weights="uniform", seed=seed)
+graph_s = time.perf_counter() - t0
+
+t0 = time.perf_counter()
+oracle = SpannerDistanceOracle(g, k, t, rng=seed)
+oracle_s = time.perf_counter() - t0
+spanner_m = oracle.spanner.m
+
+store = ArtifactStore(store_path)
+t0 = time.perf_counter()
+key = store.save_oracle(oracle, meta={"graph": spec, "seed": seed})
+save_s = time.perf_counter() - t0
+del oracle
+
+engine = QueryEngine(store.load(key))
+rng = np.random.default_rng(seed + 1)
+palette = rng.integers(0, g.n, size=sources)
+pairs = np.stack(
+    [palette[rng.integers(0, sources, size=count)],
+     rng.integers(0, g.n, size=count)],
+    axis=1,
+)
+t0 = time.perf_counter()
+answers = engine.query_many(pairs)
+query_s = time.perf_counter() - t0
+stats = engine.stats()["membudget"]
+
+print(json.dumps({
+    "n": g.n,
+    "m": g.m,
+    "spanner_m": int(spanner_m),
+    "budget_bytes": budget,
+    "graph_s": round(graph_s, 3),
+    "oracle_s": round(oracle_s, 3),
+    "save_s": round(save_s, 3),
+    "query_s": round(query_s, 4),
+    "edges_per_s": round(g.m / max(oracle_s, 1e-9), 1),
+    "peak_rss_bytes": peak_rss_bytes(),
+    "digest": hashlib.sha256(
+        np.ascontiguousarray(answers).tobytes()).hexdigest(),
+    "membudget_sites": sorted(stats["sites"]),
+}))
+"""
+
+
+def _chunked_identity(n: int, seed: int) -> bool:
+    """Budget-autotuned chunked ``batched_sssp`` == forced tiny chunks,
+    bit for bit — the small-n identity leg of the million cell."""
+    import repro.graphs.distances as dmod
+
+    g = GraphSpec.parse(f"gnm:{n}:{4 * n}").build(weights="uniform", seed=seed)
+    sources = np.arange(min(64, g.n))
+    saved = dmod._CHUNK_ENTRIES
+    try:
+        dmod._CHUNK_ENTRIES = None        # budget-autotuned (covers all rows)
+        expect = dmod.batched_sssp(g, sources)
+        dmod._CHUNK_ENTRIES = 3 * g.n     # forced 3-row chunks
+        got = dmod.batched_sssp(g, sources)
+    finally:
+        dmod._CHUNK_ENTRIES = saved
+    return bool(np.array_equal(expect, got))
+
+
+def _run_budget_point(name: str, cfg: dict, seed: int, src_dir: str, work: str) -> dict:
+    store_path = os.path.join(work, f"store_{name}")
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_dir + (os.pathsep + existing if existing else "")
+    env["REPRO_MEM_BUDGET"] = str(cfg["budget"])
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-c", _BUDGET_PROBE_SCRIPT, src_dir,
+         cfg["graph"], str(cfg["k"]), str(cfg["t"]), str(seed), store_path,
+         str(cfg["probe_pairs"]), str(cfg["sources"])],
+        capture_output=True, text=True, env=env, timeout=3600,
+    )
+    wall_s = time.perf_counter() - t0
+    if proc.returncode != 0:
+        raise RuntimeError(f"budget probe ({name}) failed:\n{proc.stderr}")
+    probe = json.loads(proc.stdout.strip().splitlines()[-1])
+    return {
+        "config": dict(cfg),
+        "graph": {"n": probe["n"], "m": probe["m"],
+                  "spanner_m": probe["spanner_m"]},
+        "build": {
+            "graph_s": probe["graph_s"],
+            "oracle_s": probe["oracle_s"],
+            "save_s": probe["save_s"],
+            "edges_per_s": probe["edges_per_s"],
+            "budget_bytes": probe["budget_bytes"],
+            "peak_rss_bytes": probe["peak_rss_bytes"],
+            "under_budget": bool(
+                probe["peak_rss_bytes"] <= probe["budget_bytes"]),
+        },
+        "serve": {"probe_pairs": cfg["probe_pairs"],
+                  "query_s": probe["query_s"],
+                  "digest": probe["digest"]},
+        "identity": {
+            "chunked_matches_unchunked":
+                _chunked_identity(cfg["identity_n"], seed + 3),
+        },
+        "membudget_sites": probe["membudget_sites"],
+        "wall_s": round(wall_s, 2),
+    }
+
+
 def _dir_bytes(path: str) -> int:
     total = 0
     for root, _dirs, files in os.walk(path):
@@ -346,6 +515,7 @@ def _run_point(name: str, cfg: dict, seed: int, src_dir: str, work: str) -> dict
         "graph": {"n": g.n, "m": g.m, "spanner_m": spanner.m,
                   "endpoint_dtype": str(spanner.edges_u.dtype)},
         "build": {"graph_s": round(graph_s, 3), "oracle_s": round(oracle_s, 3),
+                  "edges_per_s": round(g.m / max(oracle_s, 1e-9), 1),
                   "peak_rss_bytes": build_peak},
         "save": {"wall_s": round(save_s, 3), "store_bytes": store_bytes},
         "load": {
@@ -378,17 +548,29 @@ def _run_point(name: str, cfg: dict, seed: int, src_dir: str, work: str) -> dict
     }
 
 
-def run_scale_bench(*, smoke: bool = False) -> dict:
-    """Execute the protocol at every measurement point; JSON-ready record."""
+def run_scale_bench(*, smoke: bool = False, points: list[str] | None = None) -> dict:
+    """Execute the protocol at every measurement point; JSON-ready record.
+
+    ``points`` selects a subset of the config's points by name (e.g.
+    ``["million"]`` for a CI step that only wants the budget gate).
+    """
     cfg = SMOKE_CONFIG if smoke else FULL_CONFIG
+    selected = cfg["points"]
+    if points:
+        unknown = sorted(set(points) - set(selected))
+        if unknown:
+            raise ValueError(
+                f"unknown point(s) {unknown}; available: {sorted(selected)}")
+        selected = {name: selected[name] for name in points}
     src_dir = os.path.join(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
     )
     work = tempfile.mkdtemp(prefix="bench_scale_")
     try:
-        points = {
-            name: _run_point(name, point, cfg["seed"], src_dir, work)
-            for name, point in cfg["points"].items()
+        results = {
+            name: (_run_budget_point if "budget" in point else _run_point)(
+                name, point, cfg["seed"], src_dir, work)
+            for name, point in selected.items()
         }
     finally:
         shutil.rmtree(work, ignore_errors=True)
@@ -397,8 +579,9 @@ def run_scale_bench(*, smoke: bool = False) -> dict:
         "smoke": smoke,
         "cpu_count": os.cpu_count(),
         "scale_gate": SCALE_GATE,
+        "throughput_gate": THROUGHPUT_GATE,
         "worker_eps_bytes": WORKER_EPS_BYTES,
-        "points": points,
+        "points": results,
     }
 
 
@@ -415,7 +598,9 @@ def scale_gate(record: dict, *, maximum: float = SCALE_GATE):
     """
     reasons, ok = [], True
     for name, point in record.get("points", {}).items():
-        mem = point.get("memory", {})
+        if "memory" not in point:
+            continue  # budget-gated points have no worker pool
+        mem = point["memory"]
         ratio = mem.get("overhead_ratio")
         if ratio is None:
             reasons.append(f"{name}: skipped (no private-bytes accounting on this platform)")
@@ -437,16 +622,26 @@ def scale_gate(record: dict, *, maximum: float = SCALE_GATE):
 def identity_gate(record: dict):
     """Bit-identity invariants — enforced at every scale.
 
-    Returns ``(ok, reasons)``: sharded == serial, mmap == eager load, and
-    loaded-from-disk answers identical to the freshly built oracle.
+    Returns ``(ok, reasons)``.  Pool points check sharded == serial,
+    mmap == eager load, and loaded-from-disk == freshly built; budget
+    points check chunked == unchunked ``batched_sssp``.  Only the checks
+    a point's protocol produced are evaluated.
     """
     reasons, ok = [], True
     for name, point in record.get("points", {}).items():
-        checks = {
-            "sharded_identical": point.get("serve", {}).get("sharded_identical"),
-            "mmap_eager_identical": point.get("load", {}).get("mmap_eager_identical"),
-            "loaded_matches_built": point.get("load", {}).get("loaded_matches_built"),
-        }
+        checks = {}
+        srv = point.get("serve", {})
+        if "sharded_identical" in srv:
+            checks["sharded_identical"] = srv["sharded_identical"]
+        ld = point.get("load", {})
+        for key in ("mmap_eager_identical", "loaded_matches_built"):
+            if key in ld:
+                checks[key] = ld[key]
+        checks.update(point.get("identity", {}))
+        if not checks:
+            ok = False
+            reasons.append(f"{name}: FAILED (no identity checks recorded)")
+            continue
         for check, value in checks.items():
             if value:
                 reasons.append(f"{name}.{check}: ok")
@@ -454,6 +649,53 @@ def identity_gate(record: dict):
                 ok = False
                 reasons.append(f"{name}.{check}: FAILED")
     return ok, reasons
+
+
+def budget_gate(record: dict):
+    """Budget-gated points must finish their whole build + persist +
+    load + query life with subprocess peak RSS
+    (``service.mem.peak_rss_bytes``) **under** the declared
+    ``REPRO_MEM_BUDGET``.  Points without a declared budget are skipped.
+    """
+    reasons, ok = [], True
+    for name, point in record.get("points", {}).items():
+        build = point.get("build", {})
+        budget = build.get("budget_bytes")
+        if budget is None:
+            continue
+        peak = build.get("peak_rss_bytes")
+        line = f"{name}: peak RSS {_mb(peak)} vs declared budget {_mb(budget)}"
+        if peak is not None and peak <= budget:
+            reasons.append(line + " — under budget")
+        else:
+            ok = False
+            reasons.append(line + " — OVER BUDGET")
+    if not reasons:
+        reasons.append("skipped (no budget-gated points in this run)")
+    return ok, reasons
+
+
+def throughput_gate(record: dict, *, minimum: float = THROUGHPUT_GATE):
+    """The million cell's per-edge build rate vs the scale point's.
+
+    Memory-bounded chunking must not trade away asymptotic build speed:
+    ``million.build.edges_per_s >= minimum x scale.build.edges_per_s``.
+    Recorded but not enforced on smoke runs (the thin smoke configs
+    measure different k/m regimes).
+    """
+    points = record.get("points", {})
+    ref = points.get("scale", {}).get("build", {}).get("edges_per_s")
+    big = points.get("million", {}).get("build", {}).get("edges_per_s")
+    if ref is None or big is None:
+        return True, ["skipped (needs both the scale and million points)"]
+    ratio = big / max(ref, 1e-9)
+    line = (f"million build {big:,.0f} edges/s vs scale {ref:,.0f} edges/s "
+            f"= {ratio:.2f}x (gate >= {minimum}x)")
+    if record.get("smoke"):
+        return True, [f"recorded, not enforced in smoke: {line}"]
+    if ratio >= minimum:
+        return True, [line + " — ok"]
+    return False, [line + " — BELOW GATE"]
 
 
 def _mb(x) -> str:
@@ -466,6 +708,19 @@ def format_table(record: dict) -> str:
         f"cpu_count={record['cpu_count']})"
     ]
     for name, point in record["points"].items():
+        if "budget_bytes" in point.get("build", {}):
+            gr, b, srv = point["graph"], point["build"], point["serve"]
+            lines += [
+                f"  [{name}] n={gr['n']:,} m={gr['m']:,} "
+                f"spanner_m={gr['spanner_m']:,} (budget-gated)",
+                f"    build {b['oracle_s']:.2f}s ({b['edges_per_s']:,.0f} edges/s), "
+                f"peak {_mb(b['peak_rss_bytes'])} vs budget {_mb(b['budget_bytes'])} "
+                f"(under={b['under_budget']})",
+                f"    query {srv['probe_pairs']} pairs in {srv['query_s']:.3f}s; "
+                f"chunked==unchunked: "
+                f"{point['identity']['chunked_matches_unchunked']}",
+            ]
+            continue
         gr, mem, srv, ld = point["graph"], point["memory"], point["serve"], point["load"]
         lines += [
             f"  [{name}] n={gr['n']:,} spanner_m={gr['spanner_m']:,} "
@@ -490,11 +745,20 @@ if __name__ == "__main__":
 
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--smoke", action="store_true", help="tiny-n smoke run")
+    ap.add_argument(
+        "--points",
+        default=None,
+        help="comma-separated subset of measurement points to run "
+        "(e.g. --points million for just the budget-gated cell)",
+    )
     args = ap.parse_args()
-    rec = run_scale_bench(smoke=args.smoke)
+    rec = run_scale_bench(
+        smoke=args.smoke,
+        points=args.points.split(",") if args.points else None,
+    )
     print(format_table(rec))
     rc = 0
-    for gate in (scale_gate, identity_gate):
+    for gate in (scale_gate, identity_gate, budget_gate, throughput_gate):
         ok, reasons = gate(rec)
         for reason in reasons:
             print(f"{gate.__name__}: {reason}", file=sys.stdout if ok else sys.stderr)

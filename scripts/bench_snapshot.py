@@ -22,7 +22,9 @@ Suites and their artifacts:
   bit-identity; see ``repro query`` and benchmarks/bench_service.py)
 * ``scale``    -> ``BENCH_scale.json`` (memory scaling of the zero-copy
   serving path: peak RSS per phase, the O(graph + eps) worker-memory
-  gate vs the legacy per-worker-copy recipe, mmap vs eager loads; see
+  gate vs the legacy per-worker-copy recipe, mmap vs eager loads, plus
+  the budget-gated n=10^6 cell — build+query under a declared
+  ``REPRO_MEM_BUDGET`` with a per-edge throughput gate; see
   benchmarks/bench_scale.py)
 * ``server``   -> ``BENCH_server.json`` (open-loop load on the concurrent
   micro-batching socket server: offered-rate sweep with tail latencies,
@@ -147,14 +149,21 @@ def _run_service(args, out_path: str) -> tuple[int, dict]:
 
 
 def _run_scale(args, out_path: str) -> tuple[int, dict]:
-    from bench_scale import format_table, identity_gate, run_scale_bench, scale_gate
+    from bench_scale import (
+        budget_gate,
+        format_table,
+        identity_gate,
+        run_scale_bench,
+        scale_gate,
+        throughput_gate,
+    )
 
     record = run_scale_bench(smoke=args.smoke)
     print(format_table(record))
     _write(record, out_path)
 
     rc = 0
-    for gate in (scale_gate, identity_gate):
+    for gate in (scale_gate, identity_gate, budget_gate, throughput_gate):
         ok, reasons = gate(record)
         for reason in reasons:
             print(f"{gate.__name__}: {reason}", file=sys.stdout if ok else sys.stderr)
@@ -258,14 +267,28 @@ def _trajectory_diff(name: str, old: dict | None, new: dict) -> list[str]:
     elif name == "scale":
         old_points = (old or {}).get("points", {})
         for point, rec in sorted(new.get("points", {}).items()):
-            o = old_points.get(point, {}).get("memory", {}).get("overhead_ratio")
-            n = rec.get("memory", {}).get("overhead_ratio")
-            ol = old_points.get(point, {}).get("memory", {}).get("legacy_overhead_ratio")
-            nl = rec.get("memory", {}).get("legacy_overhead_ratio")
-            lines.append(
-                f"  scale {point} worker-overhead: {_fmt(o, 'x')} -> {_fmt(n, 'x')} "
-                f"(legacy: {_fmt(ol, 'x')} -> {_fmt(nl, 'x')})"
-            )
+            op = old_points.get(point, {})
+            oe = op.get("build", {}).get("edges_per_s")
+            ne = rec.get("build", {}).get("edges_per_s")
+            if "memory" in rec:  # pool protocol: worker-memory headline
+                o = op.get("memory", {}).get("overhead_ratio")
+                n = rec.get("memory", {}).get("overhead_ratio")
+                ol = op.get("memory", {}).get("legacy_overhead_ratio")
+                nl = rec.get("memory", {}).get("legacy_overhead_ratio")
+                lines.append(
+                    f"  scale {point} worker-overhead: {_fmt(o, 'x')} -> {_fmt(n, 'x')} "
+                    f"(legacy: {_fmt(ol, 'x')} -> {_fmt(nl, 'x')}); "
+                    f"build: {_fmt(oe)} -> {_fmt(ne)} edges/s"
+                )
+            else:  # budget protocol: peak-vs-budget headline
+                ob = op.get("build", {}).get("peak_rss_bytes")
+                nb = rec.get("build", {}).get("peak_rss_bytes")
+                budget = rec.get("build", {}).get("budget_bytes")
+                lines.append(
+                    f"  scale {point} build: {_fmt(oe)} -> {_fmt(ne)} edges/s; "
+                    f"peak RSS: {_fmt(ob)} -> {_fmt(nb)} "
+                    f"(budget {_fmt(budget)} bytes)"
+                )
     elif name == "server":
         od = (old or {}).get("duel", {})
         nd = new.get("duel", {})

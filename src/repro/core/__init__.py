@@ -16,6 +16,7 @@ Entry points
     rounds.
 """
 
+from . import membudget
 from .baswana_sen import baswana_sen
 from .cluster_merging import cluster_merging
 from .contraction import two_phase_contraction
@@ -42,6 +43,7 @@ from .results import IterationStats, MPCRunStats, RoundStats, SpannerResult, Str
 from .unweighted import unweighted_spanner
 
 __all__ = [
+    "membudget",
     "baswana_sen",
     "cluster_merging",
     "two_phase_contraction",

@@ -1,0 +1,145 @@
+"""Memory-budget resolution and chunk autotuning for the dense hot paths.
+
+Every batched kernel in the repo bounds its dense scratch by processing
+sources in chunks.  The chunk size used to be a hardcoded entry count
+tuned for n≈10⁵; this module replaces it with a budget resolved at call
+time:
+
+1. an explicit ``budget`` argument (bytes) wins;
+2. else the ``REPRO_MEM_BUDGET`` environment variable — plain bytes or a
+   human-friendly size like ``512M`` / ``2G`` (binary units);
+3. else a fixed fraction of currently *available* RAM (``MemAvailable``
+   from ``/proc/meminfo``), floored at 32 MB so tiny containers still get
+   the historical chunk behaviour.
+
+Call sites convert the budget into chunk rows via :func:`chunk_rows`
+(dense ``(rows, n)`` scratch) or :func:`chunk_edges` (flat per-edge
+buffers), and report what they actually allocated through :func:`note` —
+a thread-safe per-call-site peak-allocation ledger that the serving layer
+surfaces in ``QueryEngine.stats()``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+
+__all__ = [
+    "ENV_VAR",
+    "DEFAULT_FRACTION",
+    "MIN_AUTO_BUDGET",
+    "parse_bytes",
+    "available_bytes",
+    "resolve_budget",
+    "chunk_rows",
+    "chunk_edges",
+    "note",
+    "accounting",
+    "reset_accounting",
+]
+
+ENV_VAR = "REPRO_MEM_BUDGET"
+
+# Fraction of MemAvailable the auto budget takes.  Deliberately modest:
+# the budget bounds *one* kernel's dense scratch, and builds run several
+# kernels plus the graph itself side by side.
+DEFAULT_FRACTION = 1.0 / 16.0
+
+# Floor for the auto-resolved budget — the historical fixed chunk was
+# 4M float64 entries (32 MB), and going below that on a starved machine
+# only adds Python-level chunk overhead without saving real memory.
+MIN_AUTO_BUDGET = 32 * 1024 * 1024
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([kmgt]?)(i?b?)\s*$", re.IGNORECASE)
+_UNITS = {"": 1, "k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+
+_lock = threading.Lock()
+_sites: dict[str, dict[str, int]] = {}
+
+
+def parse_bytes(text: str | int | float) -> int:
+    """Parse a byte count: plain number, or suffixed like ``512M`` / ``2GiB``
+    (binary units).  Raises ``ValueError`` on junk or non-positive sizes."""
+    if isinstance(text, (int, float)):
+        value = int(text)
+    else:
+        m = _SIZE_RE.match(str(text))
+        if not m:
+            raise ValueError(f"unparseable size: {text!r}")
+        value = int(float(m.group(1)) * _UNITS[m.group(2).lower()])
+    if value < 1:
+        raise ValueError(f"memory budget must be positive, got {text!r}")
+    return value
+
+
+def available_bytes() -> int | None:
+    """``MemAvailable`` from ``/proc/meminfo`` in bytes, ``None`` off-Linux."""
+    try:
+        with open("/proc/meminfo") as fh:
+            for line in fh:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:  # pragma: no cover - non-Linux fallback
+        pass
+    return None
+
+
+def resolve_budget(budget: int | None = None) -> int:
+    """Resolve the scratch-memory budget in bytes.
+
+    Explicit argument > ``REPRO_MEM_BUDGET`` env var > ``DEFAULT_FRACTION``
+    of available RAM (floored at :data:`MIN_AUTO_BUDGET`).  An explicit or
+    env budget is honoured verbatim — tests set tiny budgets to force
+    chunking, so no floor applies to them.
+    """
+    if budget is not None:
+        return parse_bytes(budget)
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return parse_bytes(env)
+    avail = available_bytes()
+    if avail is None:  # pragma: no cover - non-Linux fallback
+        return MIN_AUTO_BUDGET
+    return max(MIN_AUTO_BUDGET, int(avail * DEFAULT_FRACTION))
+
+
+def chunk_rows(n: int, *, budget: int | None = None, entry_bytes: int = 8) -> int:
+    """Rows per chunk so a dense ``(rows, n)`` block of ``entry_bytes``-wide
+    entries stays within the resolved budget (always at least 1 row)."""
+    return max(1, resolve_budget(budget) // max(n, 1) // entry_bytes)
+
+
+def chunk_edges(*, budget: int | None = None, entry_bytes: int = 64) -> int:
+    """Edges per chunk for flat per-edge buffers (stream passes, edge-list
+    parsing).  ``entry_bytes`` is the per-edge working cost across all the
+    parallel arrays a consumer typically holds."""
+    return max(1, resolve_budget(budget) // entry_bytes)
+
+
+def note(site: str, nbytes: int) -> None:
+    """Record that ``site`` allocated a scratch block of ``nbytes``.
+
+    Cheap enough to call per chunk; keeps the per-site peak and call count
+    for :func:`accounting`.
+    """
+    nbytes = int(nbytes)
+    with _lock:
+        rec = _sites.get(site)
+        if rec is None:
+            _sites[site] = {"peak_bytes": nbytes, "calls": 1}
+        else:
+            rec["peak_bytes"] = max(rec["peak_bytes"], nbytes)
+            rec["calls"] += 1
+
+
+def accounting() -> dict[str, dict[str, int]]:
+    """Snapshot of the per-call-site peak-allocation ledger."""
+    with _lock:
+        return {site: dict(rec) for site, rec in _sites.items()}
+
+
+def reset_accounting() -> None:
+    """Clear the ledger (tests and fresh benchmark phases)."""
+    with _lock:
+        _sites.clear()

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.sparse import csgraph
 
+from ..core import membudget
 from ..core.cache import LRURowCache, answer_pairs_cached
 from ..core.general_tradeoff import general_tradeoff
 from ..core.params import apsp_parameters, coerce_rng, stretch_bound
@@ -174,8 +175,27 @@ class SpannerDistanceOracle:
             self._cache, pairs, lambda missing: batched_sssp(self.spanner, missing)
         )
 
-    def all_pairs(self) -> np.ndarray:
-        """Full approximate APSP matrix (``O(n^2)`` memory)."""
+    def all_pairs(self, *, allow_dense: bool = False) -> np.ndarray:
+        """Full approximate APSP matrix (``O(n^2)`` memory).
+
+        The dense matrix is fine at benchmark scale but a multi-terabyte
+        allocation at n≥10⁶, so when its footprint exceeds the resolved
+        memory budget (:mod:`repro.core.membudget`) this raises unless the
+        caller opts in with ``allow_dense=True``.  Bounded-memory
+        alternatives: :meth:`query_many` for selected pairs,
+        :meth:`distances_from` for whole rows.
+        """
+        need = 8 * self.g.n * self.g.n
+        if not allow_dense and need > membudget.resolve_budget():
+            raise MemoryError(
+                f"all_pairs would materialize a ({self.g.n}, {self.g.n}) "
+                f"float64 matrix ({need / 2**30:.1f} GiB), above the "
+                f"{membudget.resolve_budget() / 2**30:.1f} GiB memory budget. "
+                "Pass allow_dense=True to force it, raise "
+                f"{membudget.ENV_VAR}, or use query_many/distances_from "
+                "for bounded-memory answers."
+            )
+        membudget.note("distances.oracle.all_pairs", need)
         if self._matrix is None:
             d = np.full((self.g.n, self.g.n), np.inf)
             np.fill_diagonal(d, 0.0)

@@ -43,6 +43,7 @@ import math
 import numpy as np
 from scipy.sparse import csgraph
 
+from ..core import membudget
 from ..core.params import coerce_rng
 from ..core.results import SpannerResult
 from ..graphs.distances import _gather_neighbors, iter_sssp_chunks
@@ -118,6 +119,10 @@ def build_bunches_batched(
                 dist_parts.append(rows[ridx, verts])
             keys = np.concatenate(key_parts)
             dists = np.concatenate(dist_parts)
+            membudget.note(
+                "distances.sketches.build_bunches_batched",
+                keys.nbytes + dists.nbytes,
+            )
             order = np.argsort(keys, kind="stable")
             all_keys.append(keys[order])
             all_dists.append(dists[order])
@@ -173,6 +178,9 @@ def build_bunches_batched(
             front_c = ckey - front_v * nn
             front_d = cand_d
 
+        membudget.note(
+            "distances.sketches.build_bunches_batched", bk.nbytes + bd.nbytes
+        )
         all_keys.append(bk)
         all_dists.append(bd)
 

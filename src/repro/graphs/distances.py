@@ -34,10 +34,28 @@ __all__ = [
 
 _INF = np.inf
 
-# Batched Dijkstra runs are chunked so the dense (sources, n) distance block
-# stays below ~32 MB regardless of how many distinct sources a caller asks
-# for at once.
-_CHUNK_ENTRIES = 4_000_000
+# Batched runs are chunked so the dense (sources, n) scratch block stays
+# within the memory budget resolved by :mod:`repro.core.membudget`
+# (explicit ``REPRO_MEM_BUDGET`` beats a fraction of available RAM).
+# Setting ``_CHUNK_ENTRIES`` to an integer pins the historical
+# fixed-entry-count chunking instead — tests monkeypatch it to force
+# tiny chunks deterministically.
+_CHUNK_ENTRIES: int | None = None
+
+
+def _chunk_rows(n: int, site: str) -> int:
+    """Sources per chunk for a dense ``(rows, n)`` float64 scratch block."""
+    if _CHUNK_ENTRIES is not None:
+        return max(1, _CHUNK_ENTRIES // max(n, 1))
+    from ..core import membudget  # lazy: core imports this module
+
+    return membudget.chunk_rows(n, entry_bytes=8)
+
+
+def _note_alloc(site: str, nbytes: int) -> None:
+    from ..core import membudget
+
+    membudget.note(site, nbytes)
 
 
 def _gather_neighbors(csr, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -58,16 +76,19 @@ def _gather_neighbors(csr, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray
 def iter_sssp_chunks(g: WeightedGraph, sources: np.ndarray):
     """Yield ``(offset, rows)`` blocks of a multi-source Dijkstra.
 
-    Each block holds at most ``_CHUNK_ENTRIES`` distance entries (~32 MB),
-    so callers that reduce blocks immediately (stretch checks, pairwise
-    lookups) keep peak memory bounded no matter how many sources they ask
-    for.  Rows match :func:`sssp` exactly.
+    Each block's dense distance scratch stays within the resolved memory
+    budget (:mod:`repro.core.membudget`), so callers that reduce blocks
+    immediately (stretch checks, pairwise lookups) keep peak memory
+    bounded no matter how many sources they ask for.  Rows match
+    :func:`sssp` exactly — the chunk size only moves batching granularity,
+    never values.
     """
     sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
     if sources.size and (sources.min() < 0 or sources.max() >= g.n):
         raise ValueError("source out of range")
     mat = g.to_scipy() if g.m else None
-    chunk = max(1, _CHUNK_ENTRIES // max(g.n, 1))
+    site = "graphs.distances.iter_sssp_chunks"
+    chunk = _chunk_rows(g.n, site)
     for lo in range(0, sources.size, chunk):
         block = sources[lo : lo + chunk]
         if mat is None:
@@ -77,6 +98,7 @@ def iter_sssp_chunks(g: WeightedGraph, sources: np.ndarray):
             rows = np.atleast_2d(
                 csgraph.dijkstra(mat, directed=False, indices=block)
             )
+        _note_alloc(site, rows.nbytes)
         yield lo, rows
 
 
@@ -325,8 +347,11 @@ def _batched_capped_bfs_block(g: WeightedGraph, src: np.ndarray, hops: int, cap:
             )
             # First occurrence per (slot, vertex) in scan order.  Windows
             # are small (a few entries per live slot), so a per-window
-            # stable sort is cheap — no O(s·n) scratch array needed.
-            scan = np.arange(cand_v.size)
+            # stable sort is cheap — no O(s·n) scratch array needed.  The
+            # tiebreak key stays int32 (window sizes always fit), halving
+            # the widest lexsort key.
+            scan_dt = np.int32 if cand_v.size < 2**31 else np.int64
+            scan = np.arange(cand_v.size, dtype=scan_dt)
             order = np.lexsort((scan, cand_v, cand_slot))
             cs, cv = cand_slot[order], cand_v[order]
             lead = np.ones(order.size, dtype=bool)
@@ -423,12 +448,13 @@ def batched_capped_bfs(
     sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
     if sources.size and (sources.min() < 0 or sources.max() >= g.n):
         raise ValueError("source out of range")
-    chunk = max(1, _CHUNK_ENTRIES // max(g.n, 1))
+    site = "graphs.distances.batched_capped_bfs"
+    chunk = _chunk_rows(g.n, site)
     parts = []
     for lo in range(0, sources.size, chunk):
-        parts.append(
-            _batched_capped_bfs_block(g, sources[lo : lo + chunk], hops, cap)
-        )
+        block = sources[lo : lo + chunk]
+        _note_alloc(site, block.size * g.n)  # the (slot, vertex) bitmap
+        parts.append(_batched_capped_bfs_block(g, block, hops, cap))
     if len(parts) == 1:
         return parts[0]
     if not parts:

@@ -30,6 +30,7 @@ from .graph import WeightedGraph
 __all__ = [
     "write_edgelist",
     "read_edgelist",
+    "read_edgelist_streaming",
     "write_graph_npz",
     "read_graph_npz",
     "GRAPH_NPZ_VERSION",
@@ -135,6 +136,170 @@ def read_edgelist(path) -> WeightedGraph:
         np.asarray(vs, dtype=np.int64),
         np.asarray(ws, dtype=np.float64),
     )
+
+
+def _open_text(path: Path):
+    """Open a (possibly gzip-compressed) edge-list file for text reading."""
+    if path.suffix == ".gz":
+        import gzip
+
+        return gzip.open(path, "rt")
+    return path.open()
+
+
+def read_edgelist_streaming(
+    path,
+    *,
+    num_nodes: int | None = None,
+    relabel: bool = False,
+    chunk_lines: int | None = None,
+    comments: str = "#",
+) -> tuple[WeightedGraph, dict]:
+    """Read a SNAP-style whitespace edge list without materializing the file.
+
+    Real road/social graph dumps (SNAP, KONECT, DIMACS exports) are
+    multi-gigabyte text files; the seed :func:`read_edgelist` parses them
+    one Python ``str.split`` at a time into Python lists — two orders of
+    magnitude slower than numpy's C parser and several times the file size
+    in peak memory.  This reader streams the file through
+    ``np.loadtxt(max_rows=...)`` in bounded chunks (sized through
+    :mod:`repro.core.membudget` unless ``chunk_lines`` is given), so peak
+    memory is the final edge arrays plus one chunk, never the parsed text.
+
+    Format: ``u v`` (weight 1) or ``u v w`` per line, ``#``-prefixed
+    comment lines ignored (``comments`` overrides the marker), gzip
+    transparently decompressed for ``.gz`` paths.  Self loops — which SNAP
+    graphs routinely contain and :class:`WeightedGraph` rejects — are
+    dropped and counted; duplicate and reverse edges are merged by the
+    graph's canonicalization (minimum weight wins).
+
+    Parameters
+    ----------
+    num_nodes:
+        Declared vertex count (ids must be ``< num_nodes``); defaults to
+        ``max(endpoint) + 1``.
+    relabel:
+        Compress arbitrary (sparse, non-contiguous) node ids to
+        ``0..n_distinct-1`` by first appearance in sorted id order —
+        required for SNAP graphs whose ids are hash-like.
+    chunk_lines:
+        Data lines parsed per chunk; defaults through the memory budget.
+
+    Returns
+    -------
+    (graph, report):
+        The loaded :class:`WeightedGraph` plus an ingest report dict
+        (lines parsed, self loops dropped, duplicates merged, chunks).
+    """
+    from ..core import membudget  # lazy: core imports this package
+
+    path = Path(path)
+    if chunk_lines is None:
+        # A parsed line costs 3 float64 plus the int64 accumulation copy.
+        chunk_lines = membudget.chunk_edges(entry_bytes=80)
+    if chunk_lines < 1:
+        raise ValueError("chunk_lines must be positive")
+
+    us: list[np.ndarray] = []
+    vs: list[np.ndarray] = []
+    ws: list[np.ndarray] = []
+    ncols: int | None = None
+    lines = 0
+    loops_dropped = 0
+    chunks = 0
+    import warnings
+
+    with _open_text(path) as fh:
+        while True:
+            with warnings.catch_warnings():
+                # loadtxt warns once per call that comment/blank lines do
+                # not count towards max_rows (exactly the behaviour this
+                # chunk loop wants) and again on an exhausted file.
+                warnings.filterwarnings(
+                    "ignore", message=".*no data.*", category=UserWarning
+                )
+                block = np.loadtxt(
+                    fh, comments=comments, max_rows=chunk_lines, ndmin=2,
+                    dtype=np.float64,
+                )
+            if block.size == 0:
+                break
+            chunks += 1
+            lines += block.shape[0]
+            if ncols is None:
+                ncols = block.shape[1]
+                if ncols not in (2, 3):
+                    raise ValueError(
+                        f"{path}: expected 2 ('u v') or 3 ('u v w') columns, "
+                        f"got {ncols}"
+                    )
+            elif block.shape[1] != ncols:
+                raise ValueError(
+                    f"{path}: inconsistent column count "
+                    f"({block.shape[1]} after {ncols})"
+                )
+            u = block[:, 0].astype(np.int64)
+            v = block[:, 1].astype(np.int64)
+            if not (np.array_equal(u, block[:, 0]) and np.array_equal(v, block[:, 1])):
+                raise ValueError(f"{path}: non-integer endpoint in chunk {chunks}")
+            if u.size and (u.min() < 0 or v.min() < 0):
+                raise ValueError(f"{path}: negative endpoint in chunk {chunks}")
+            w = block[:, 2].copy() if ncols == 3 else np.ones(u.size)
+            if not np.all(np.isfinite(w)) or np.any(w <= 0):
+                raise ValueError(
+                    f"{path}: weights must be positive and finite "
+                    f"(chunk {chunks})"
+                )
+            keep = u != v
+            loops_dropped += int(u.size - keep.sum())
+            us.append(u[keep])
+            vs.append(v[keep])
+            ws.append(w[keep])
+            if block.shape[0] < chunk_lines:
+                break
+
+    u = np.concatenate(us) if us else np.zeros(0, dtype=np.int64)
+    v = np.concatenate(vs) if vs else np.zeros(0, dtype=np.int64)
+    w = np.concatenate(ws) if ws else np.zeros(0)
+    del us, vs, ws
+
+    if relabel:
+        ids, inverse = np.unique(np.concatenate([u, v]), return_inverse=True)
+        u, v = inverse[: u.size], inverse[u.size :]
+        n = ids.size
+        if num_nodes is not None:
+            if num_nodes < n:
+                raise ValueError(
+                    f"{path}: num_nodes={num_nodes} below the {n} distinct ids"
+                )
+            n = num_nodes
+    else:
+        max_id = int(max(u.max(), v.max())) if u.size else -1
+        if num_nodes is not None:
+            if max_id >= num_nodes:
+                raise ValueError(
+                    f"{path}: endpoint {max_id} out of range for "
+                    f"num_nodes={num_nodes} (pass relabel=True for sparse ids)"
+                )
+            n = num_nodes
+        else:
+            n = max_id + 1
+
+    raw_edges = u.size
+    g = WeightedGraph(n, u, v, w)
+    report = {
+        "path": str(path),
+        "lines": int(lines),
+        "n": g.n,
+        "edges": g.m,
+        "self_loops_dropped": int(loops_dropped),
+        "duplicates_merged": int(raw_edges - g.m),
+        "relabeled": bool(relabel),
+        "weighted": ncols == 3,
+        "chunks": int(chunks),
+        "chunk_lines": int(chunk_lines),
+    }
+    return g, report
 
 
 def write_graph_npz(g: WeightedGraph, path, *, compressed: bool = False) -> None:

@@ -185,6 +185,7 @@ def grow_balls_mpc(
     total_words = int(members.size)
 
     steps = max(0, math.ceil(math.log2(max(radius, 1)))) if radius > 1 else 0
+    j_star = np.empty(n, dtype=np.int64)  # per-step prefix-union scratch
     for _ in range(steps):
         sizes = indptr[1:] - indptr[:-1]
         # Requests: v asks each w in B(v) for B(w).  Count per-target
@@ -236,7 +237,7 @@ def grow_balls_mpc(
         o_r = o_u[rorder]
         _, _, cum = _segment_ranks(o_r)
         exceeded = cum + 1 > cap  # union size after this member arrives
-        j_star = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+        j_star.fill(np.iinfo(np.int64).max)
         exc_idx = np.flatnonzero(exceeded)
         if exc_idx.size:
             # First exceeded position per owner (rorder is owner-grouped).
@@ -254,8 +255,9 @@ def grow_balls_mpc(
         # the grown balls of the active ones. ------------------------------
         frozen = np.ones(n, dtype=bool)
         frozen[act] = False
-        frozen_rows = frozen[np.repeat(np.arange(n), sizes)]
-        f_owner = np.repeat(np.arange(n), sizes)[frozen_rows]
+        owner_rows = np.repeat(np.arange(n), sizes)  # one O(members) gather
+        frozen_rows = frozen[owner_rows]
+        f_owner = owner_rows[frozen_rows]
         f_vtx = members[frozen_rows]
         owner_all = np.concatenate([f_owner, o_k])
         vtx_all = np.concatenate([f_vtx, v_k])

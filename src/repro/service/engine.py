@@ -37,6 +37,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from ..core import membudget
 from ..core.cache import LRURowCache, answer_pairs_cached
 from ..distances.oracle import SpannerDistanceOracle
 from ..distances.sketches import DistanceSketch
@@ -384,6 +385,10 @@ class QueryEngine:
             },
             "batch_sizes": {
                 str(k): v for k, v in sorted(self._batch_pairs_hist.items())
+            },
+            "membudget": {
+                "budget_bytes": membudget.resolve_budget(),
+                "sites": membudget.accounting(),
             },
             **({"meta": self.meta} if self.meta else {}),
         }

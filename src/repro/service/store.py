@@ -38,6 +38,12 @@ Three artifact kinds:
     :class:`~repro.service.provider.ProviderBundle` so one artifact
     serves ``exact``/``oracle``/``sketch``/``tiered`` and the planner can
     route between them (see :mod:`repro.service.provider`).
+``graph``
+    A bare :class:`~repro.graphs.graph.WeightedGraph` — the ingest path
+    (``repro ingest``, :func:`~repro.graphs.io.read_edgelist_streaming`)
+    lands real edge lists here, and a loaded graph serves exact rows
+    through :class:`~repro.service.engine.QueryEngine` (shared-memory
+    sharding included) or feeds a spanner/sketch build.
 
 Keys default to a content hash of the artifact's build configuration
 (:func:`config_key` — the same ``sha256(json)[:16]`` recipe as
@@ -75,7 +81,7 @@ __all__ = ["ArtifactStore", "ArtifactInfo", "config_key", "STORE_FORMAT_VERSION"
 #: when their values fit.
 STORE_FORMAT_VERSION = 2
 
-_KINDS = ("oracle", "sketch", "bundle")
+_KINDS = ("oracle", "sketch", "bundle", "graph")
 _MANIFEST = "manifest.json"
 _ARRAYS = "arrays.npz"  # v1 payload, read-compatible
 _ARRAYS_DIR = "arrays"
@@ -328,6 +334,25 @@ class ArtifactStore:
             meta=meta,
         )
 
+    def save_graph(
+        self,
+        g: WeightedGraph,
+        *,
+        key: str | None = None,
+        meta: dict | None = None,
+    ) -> str:
+        """Persist a bare graph as a ``graph`` artifact; returns the key.
+
+        This is the ingest landing zone: edge arrays only (int32-downcast
+        where values fit, memmap-served on load), so a million-node road
+        network persists once and every serving process maps it lazily.
+        """
+        meta = dict(meta or {})
+        meta.update({"n": g.n, "graph_edges": g.m})
+        if key is None:
+            key = config_key({"kind": "graph", **{k_: meta[k_] for k_ in sorted(meta)}})
+        return self._write(key, "graph", _graph_payload(g), meta)
+
     def save_sketch(
         self,
         sketch: DistanceSketch,
@@ -418,8 +443,9 @@ class ArtifactStore:
         """Reconstruct the query structure behind ``key``.
 
         Returns a :class:`SpannerDistanceOracle` (``oracle`` artifacts),
-        a :class:`DistanceSketch` (``sketch`` artifacts) or a
+        a :class:`DistanceSketch` (``sketch`` artifacts), a
         :class:`~repro.service.provider.ProviderBundle` (``bundle``
+        artifacts) or a bare :class:`WeightedGraph` (``graph``
         artifacts); all answer queries bit-identically to the objects
         that were saved.
 
@@ -431,6 +457,8 @@ class ArtifactStore:
         info = self.info(key)
         data = self._read_arrays(info, mmap=mmap)
         g = _graph_from_payload(data)
+        if info.kind == "graph":
+            return g
         if info.kind == "oracle":
             kwargs = {}
             if cache_rows is not None:
@@ -468,6 +496,12 @@ class ArtifactStore:
         obj = self.load(key, cache_rows=cache_rows, mmap=mmap)
         if not isinstance(obj, SpannerDistanceOracle):
             raise ValueError(f"artifact {key!r} is a {self.info(key).kind}, not an oracle")
+        return obj
+
+    def load_graph(self, key: str, *, mmap: bool = True) -> WeightedGraph:
+        obj = self.load(key, mmap=mmap)
+        if not isinstance(obj, WeightedGraph):
+            raise ValueError(f"artifact {key!r} is a {self.info(key).kind}, not a graph")
         return obj
 
     def load_sketch(self, key: str, *, mmap: bool = True):

@@ -21,9 +21,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core import membudget
 from ..graphs.graph import WeightedGraph
 
 __all__ = ["EdgeStream", "StreamStats"]
+
+# Per-edge working cost of one streamed chunk: the four yielded arrays
+# (u, v, w, eid — 8 bytes each) plus a comparable allowance for the
+# consumer's fold scratch (group keys, minima, masks).
+_EDGE_BYTES = 64
 
 
 @dataclass
@@ -49,13 +55,20 @@ class EdgeStream:
     g:
         The underlying graph.
     chunk:
-        Edges yielded per chunk (models the stream buffer).
+        Edges yielded per chunk (models the stream buffer).  ``None``
+        (the default) autotunes through the memory budget resolver
+        (:mod:`repro.core.membudget`); passing an explicit chunk pins the
+        historical fixed-size behaviour.
     order_seed:
         Seed for the arbitrary-but-fixed stream order; the same stream
         must present edges in the same order on every pass.
     """
 
-    def __init__(self, g: WeightedGraph, *, chunk: int = 4096, order_seed: int = 0) -> None:
+    def __init__(
+        self, g: WeightedGraph, *, chunk: int | None = None, order_seed: int = 0
+    ) -> None:
+        if chunk is None:
+            chunk = membudget.chunk_edges(entry_bytes=_EDGE_BYTES)
         if chunk < 1:
             raise ValueError("chunk must be positive")
         self.g = g
@@ -84,6 +97,10 @@ class EdgeStream:
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
         g = self.g
+        membudget.note(
+            "streaming.EdgeStream.passes_chunked",
+            min(chunk_size, self._order.size) * _EDGE_BYTES,
+        )
         for start in range(0, self._order.size, chunk_size):
             idx = self._order[start : start + chunk_size]
             self.stats.edges_streamed += idx.size

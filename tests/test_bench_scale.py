@@ -23,19 +23,26 @@ BENCH_DIR = os.path.join(
 if BENCH_DIR not in sys.path:
     sys.path.insert(0, BENCH_DIR)
 
+import pytest  # noqa: E402
+
 from bench_scale import (  # noqa: E402
     SCALE_GATE,
+    THROUGHPUT_GATE,
+    budget_gate,
     format_table,
     graph_footprint,
     identity_gate,
     probe_pairs,
     run_scale_bench,
     scale_gate,
+    throughput_gate,
 )
 
 
 def test_scale_bench_smoke():
-    record = run_scale_bench(smoke=True)
+    # Just the pool-protocol point: the budget-gated million cell builds a
+    # real n=10^6 graph (~30s) and runs in the CI scale job instead.
+    record = run_scale_bench(smoke=True, points=["scale"])
     ok, reasons = identity_gate(record)
     assert ok, reasons
     # The memory gate is not timing-based, so it holds at smoke scale too
@@ -77,6 +84,61 @@ def test_identity_gate_logic():
     ok, reasons = identity_gate(bad)
     assert not ok
     assert any("p.mmap_eager_identical: FAILED" in r for r in reasons)
+
+
+def test_identity_gate_budget_point_checks():
+    ok, reasons = identity_gate(
+        {"points": {"million": {"identity": {"chunked_matches_unchunked": True}}}}
+    )
+    assert ok and "million.chunked_matches_unchunked: ok" in reasons
+    ok, _ = identity_gate(
+        {"points": {"million": {"identity": {"chunked_matches_unchunked": False}}}}
+    )
+    assert not ok
+    # A point that recorded no checks at all is a failure, not a skip.
+    ok, reasons = identity_gate({"points": {"empty": {}}})
+    assert not ok and any("no identity checks" in r for r in reasons)
+
+
+def test_budget_gate_logic():
+    def rec(peak, budget):
+        return {"points": {"million": {"build": {
+            "peak_rss_bytes": peak, "budget_bytes": budget}}}}
+
+    ok, reasons = budget_gate(rec(2**30, 4 * 2**30))
+    assert ok and "under budget" in reasons[0]
+    ok, reasons = budget_gate(rec(5 * 2**30, 4 * 2**30))
+    assert not ok and "OVER BUDGET" in reasons[0]
+    # Points without a declared budget are skipped entirely.
+    ok, reasons = budget_gate({"points": {"scale": {"build": {"oracle_s": 1.0}}}})
+    assert ok and "skipped" in reasons[0]
+
+
+def test_throughput_gate_logic():
+    def rec(ref, big, smoke=False):
+        return {
+            "smoke": smoke,
+            "points": {
+                "scale": {"build": {"edges_per_s": ref}},
+                "million": {"build": {"edges_per_s": big}},
+            },
+        }
+
+    ok, reasons = throughput_gate(rec(100_000, 60_000))
+    assert ok and "ok" in reasons[0]
+    ok, reasons = throughput_gate(rec(100_000, 100_000 * THROUGHPUT_GATE - 1))
+    assert not ok and "BELOW GATE" in reasons[0]
+    # Smoke runs record the ratio without enforcing it.
+    ok, reasons = throughput_gate(rec(100_000, 1_000, smoke=True))
+    assert ok and "not enforced in smoke" in reasons[0]
+    # Missing either point: skip.
+    ok, reasons = throughput_gate({"points": {}})
+    assert ok and "skipped" in reasons[0]
+
+
+def test_point_selector_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown point"):
+        run_scale_bench(smoke=True, points=["nope"])
 
 
 def test_probe_pairs_bounded_sources_and_deterministic():

@@ -1,0 +1,239 @@
+"""Tests for the real-ingest path: streaming edge-list reader, the
+``graph`` artifact kind, and the ``repro ingest`` CLI verb.
+
+The chain under test is the one a million-node road network takes:
+SNAP-style text file -> :func:`read_edgelist_streaming` (chunked numpy
+parse, self-loop dropping, duplicate merging, optional id relabeling) ->
+``ArtifactStore.save_graph`` (int32-downcast ``.npy`` arrays) ->
+``load_graph`` / ``QueryEngine.from_store`` serving exact answers
+bit-identical to the in-memory graph.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import numpy as np
+import pytest
+
+from repro.graphs import erdos_renyi, read_edgelist, write_edgelist
+from repro.graphs.distances import pairwise_distances
+from repro.graphs.io import read_edgelist_streaming
+
+
+class TestStreamingReader:
+    def test_matches_line_parser(self, tmp_path):
+        g = erdos_renyi(80, 0.1, weights="uniform", rng=0)
+        path = tmp_path / "g.edges"
+        write_edgelist(g, path)
+        got, report = read_edgelist_streaming(path, num_nodes=g.n)
+        assert got == read_edgelist(path)
+        assert report["edges"] == g.m and report["weighted"]
+
+    def test_snap_style_comments_and_tabs(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text(
+            "# Directed graph (each unordered pair once)\n"
+            "# Nodes: 4 Edges: 3\n"
+            "0\t1\n2\t3\n1\t3\n"
+        )
+        g, report = read_edgelist_streaming(path)
+        assert g.n == 4 and g.m == 3 and g.is_unweighted
+        assert not report["weighted"]
+
+    def test_self_loops_dropped_and_counted(self, tmp_path):
+        path = tmp_path / "loops.txt"
+        path.write_text("0 1\n1 1\n2 2\n1 2\n")
+        g, report = read_edgelist_streaming(path)
+        assert g.m == 2
+        assert report["self_loops_dropped"] == 2
+
+    def test_duplicates_merged_min_weight(self, tmp_path):
+        path = tmp_path / "dups.txt"
+        path.write_text("0 1 2.5\n1 0 1.25\n0 1 9.0\n")
+        g, report = read_edgelist_streaming(path)
+        assert g.m == 1 and g.edges_w[0] == 1.25
+        assert report["duplicates_merged"] == 2
+
+    def test_chunked_parse_bit_identical(self, tmp_path):
+        g = erdos_renyi(60, 0.15, weights="uniform", rng=1)
+        path = tmp_path / "g.edges"
+        write_edgelist(g, path)
+        one, _ = read_edgelist_streaming(path, num_nodes=g.n)
+        tiny, report = read_edgelist_streaming(path, num_nodes=g.n, chunk_lines=1)
+        assert one == tiny
+        assert report["chunks"] == g.m
+
+    def test_budget_sizes_default_chunk(self, tmp_path, monkeypatch):
+        from repro.core import membudget
+
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n2 3\n3 4\n")
+        monkeypatch.setenv(membudget.ENV_VAR, str(2 * 80))  # 2 lines/chunk
+        g, report = read_edgelist_streaming(path)
+        assert report["chunk_lines"] == 2 and report["chunks"] == 2
+        assert g.m == 4
+
+    def test_relabel_sparse_ids(self, tmp_path):
+        path = tmp_path / "sparse.txt"
+        path.write_text("100 900\n900 1000000007\n")
+        g, report = read_edgelist_streaming(path, relabel=True)
+        assert g.n == 3 and g.m == 2 and report["relabeled"]
+        # First appearance in sorted-id order: 100->0, 900->1, 1000000007->2.
+        assert sorted(zip(g.edges_u, g.edges_v)) == [(0, 1), (1, 2)]
+
+    def test_relabel_respects_num_nodes(self, tmp_path):
+        path = tmp_path / "sparse.txt"
+        path.write_text("5 17\n")
+        g, _ = read_edgelist_streaming(path, relabel=True, num_nodes=10)
+        assert g.n == 10
+        with pytest.raises(ValueError, match="below the"):
+            read_edgelist_streaming(path, relabel=True, num_nodes=1)
+
+    def test_sparse_ids_without_relabel_rejected(self, tmp_path):
+        path = tmp_path / "sparse.txt"
+        path.write_text("0 99\n")
+        with pytest.raises(ValueError, match="relabel=True"):
+            read_edgelist_streaming(path, num_nodes=10)
+
+    def test_gzip_transparent(self, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write("0 1 2.0\n1 2 3.0\n")
+        g, _ = read_edgelist_streaming(path)
+        assert g.n == 3 and g.m == 2
+
+    def test_empty_and_comment_only_files(self, tmp_path):
+        for body in ("", "# nothing here\n# move along\n"):
+            path = tmp_path / "empty.txt"
+            path.write_text(body)
+            g, report = read_edgelist_streaming(path)
+            assert g.n == 0 and g.m == 0 and report["lines"] == 0
+
+    @pytest.mark.parametrize(
+        ("body", "match"),
+        [
+            ("0 1 2.0 9\n", "columns"),
+            ("0 1 1.0\n2 3\n", None),  # inconsistent columns (chunked)
+            ("0 1.5\n", "non-integer"),
+            ("0 -1\n", "negative"),
+            ("0 1 -2.0\n", "positive and finite"),
+            ("0 1 nan\n", "positive and finite"),
+            ("0 1 inf\n", "positive and finite"),
+        ],
+    )
+    def test_malformed_rejected(self, tmp_path, body, match):
+        path = tmp_path / "bad.txt"
+        path.write_text(body)
+        with pytest.raises(ValueError, match=match):
+            # chunk_lines=1 exercises the cross-chunk consistency checks.
+            read_edgelist_streaming(path, chunk_lines=1)
+
+
+class TestGraphArtifactKind:
+    def _graph(self):
+        return erdos_renyi(70, 0.12, weights="uniform", rng=2)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        from repro.service import ArtifactStore
+
+        g = self._graph()
+        store = ArtifactStore(tmp_path / "store")
+        key = store.save_graph(g, meta={"source": "test"})
+        info = store.info(key)
+        assert info.kind == "graph"
+        assert info.meta["n"] == g.n and info.meta["graph_edges"] == g.m
+        loaded = store.load_graph(key)
+        assert loaded == g
+
+    def test_generic_load_dispatches(self, tmp_path):
+        from repro.graphs import WeightedGraph
+        from repro.service import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "store")
+        key = store.save_graph(self._graph())
+        assert isinstance(store.load(key), WeightedGraph)
+
+    def test_load_graph_rejects_other_kinds(self, tmp_path):
+        from repro.distances import SpannerDistanceOracle
+        from repro.service import ArtifactStore
+
+        g = self._graph()
+        store = ArtifactStore(tmp_path / "store")
+        okey = store.save_oracle(SpannerDistanceOracle(g, 3, 2, rng=2))
+        with pytest.raises(ValueError, match="not a graph"):
+            store.load_graph(okey)
+        gkey = store.save_graph(g)
+        with pytest.raises(ValueError, match="not an oracle"):
+            store.load_oracle(gkey)
+
+    def test_engine_serves_graph_artifact_exactly(self, tmp_path):
+        from repro.service import ArtifactStore, QueryEngine
+
+        g = self._graph()
+        store = ArtifactStore(tmp_path / "store")
+        key = store.save_graph(g)
+        engine = QueryEngine.from_store(store, key)
+        rng = np.random.default_rng(3)
+        pairs = rng.integers(0, g.n, size=(64, 2))
+        assert np.array_equal(
+            engine.query_many(pairs), pairwise_distances(g, pairs)
+        )
+
+
+class TestIngestCli:
+    def _write_edges(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# comment\n0 1 2.0\n1 2 1.0\n2 2 5.0\n1 0 1.5\n")
+        return path
+
+    def test_ingest_json_record(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.service import ArtifactStore
+
+        path = self._write_edges(tmp_path)
+        store_path = str(tmp_path / "store")
+        rc = main(
+            ["ingest", str(path), "--store", store_path, "--key", "toy", "--json"]
+        )
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["key"] == "toy"
+        assert record["n"] == 3 and record["edges"] == 2
+        assert record["self_loops_dropped"] == 1
+        assert record["duplicates_merged"] == 1
+        g = ArtifactStore(store_path).load_graph("toy")
+        assert g.m == 2 and g.edges_w[g.edge_ids_for([0], [1])[0]] == 1.5
+
+    def test_ingest_human_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._write_edges(tmp_path)
+        rc = main(["ingest", str(path), "--store", str(tmp_path / "store")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "self loops dropped" in out and "repro query --store" in out
+
+    def test_ingest_missing_file(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="ingest:"):
+            main(
+                ["ingest", str(tmp_path / "nope.txt"),
+                 "--store", str(tmp_path / "store")]
+            )
+
+    def test_ingest_relabel_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.service import ArtifactStore
+
+        path = tmp_path / "sparse.txt"
+        path.write_text("10 70\n70 5000\n")
+        store_path = str(tmp_path / "store")
+        rc = main(
+            ["ingest", str(path), "--store", store_path, "--key", "s",
+             "--relabel", "--json"]
+        )
+        assert rc == 0
+        assert ArtifactStore(store_path).load_graph("s").n == 3

@@ -1,0 +1,293 @@
+"""Tests for the memory-budget resolver and the budgeted chunk paths.
+
+Covers :mod:`repro.core.membudget` itself (size parsing, the resolution
+chain, chunk sizing, the per-site accounting ledger), the boundary cases
+of the budget-autotuned ``iter_sssp_chunks`` (chunk larger than the
+source set, exactly one row per chunk, empty source list), the
+hypothesis bit-identity invariant — *any* chunk size yields the same
+rows as the unchunked reference — and the satellites that hang off the
+budget: the ``all_pairs`` dense guard, ``EdgeStream``'s budgeted default
+chunk, and the ``QueryEngine.stats()`` surfacing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.graphs.distances as dmod
+from repro.core import membudget
+from repro.graphs import WeightedGraph, erdos_renyi, batched_sssp
+
+
+@pytest.fixture(autouse=True)
+def _clean_ledger():
+    membudget.reset_accounting()
+    yield
+    membudget.reset_accounting()
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [
+            ("1024", 1024),
+            ("1k", 1024),
+            ("1K", 1024),
+            ("512M", 512 * 2**20),
+            ("2G", 2 * 2**30),
+            ("2GiB", 2 * 2**30),
+            ("1.5g", int(1.5 * 2**30)),
+            ("3gb", 3 * 2**30),
+            ("1t", 2**40),
+            (" 64 M ", 64 * 2**20),
+            (4096, 4096),
+            (4096.7, 4096),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert membudget.parse_bytes(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "junk", "12X", "G", "-5", "1..5M", "0"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            membudget.parse_bytes(text)
+
+    def test_nonpositive_numeric(self):
+        with pytest.raises(ValueError):
+            membudget.parse_bytes(0)
+        with pytest.raises(ValueError):
+            membudget.parse_bytes(-1)
+
+
+class TestResolveBudget:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(membudget.ENV_VAR, "1G")
+        assert membudget.resolve_budget(12345) == 12345
+
+    def test_env_honoured_verbatim(self, monkeypatch):
+        # No MIN_AUTO_BUDGET floor on explicit/env budgets: tests rely on
+        # tiny budgets to force chunking.
+        monkeypatch.setenv(membudget.ENV_VAR, "4k")
+        assert membudget.resolve_budget() == 4096
+
+    def test_env_junk_raises(self, monkeypatch):
+        monkeypatch.setenv(membudget.ENV_VAR, "lots")
+        with pytest.raises(ValueError):
+            membudget.resolve_budget()
+
+    def test_auto_floor(self, monkeypatch):
+        monkeypatch.delenv(membudget.ENV_VAR, raising=False)
+        assert membudget.resolve_budget() >= membudget.MIN_AUTO_BUDGET
+
+    def test_auto_tracks_available(self, monkeypatch):
+        monkeypatch.delenv(membudget.ENV_VAR, raising=False)
+        avail = membudget.available_bytes()
+        if avail is None:  # pragma: no cover - non-Linux
+            pytest.skip("no /proc/meminfo")
+        got = membudget.resolve_budget()
+        assert got == max(
+            membudget.MIN_AUTO_BUDGET, int(avail * membudget.DEFAULT_FRACTION)
+        ) or got >= membudget.MIN_AUTO_BUDGET  # MemAvailable moves between reads
+
+
+class TestChunkSizing:
+    def test_chunk_rows(self):
+        # 1000 vertices, 8-byte entries, 80 kB budget -> 10 rows.
+        assert membudget.chunk_rows(1000, budget=80_000) == 10
+
+    def test_chunk_rows_floor_one(self):
+        assert membudget.chunk_rows(10**9, budget=1) == 1
+
+    def test_chunk_rows_entry_bytes(self):
+        assert membudget.chunk_rows(1000, budget=80_000, entry_bytes=1) == 80
+
+    def test_chunk_edges(self):
+        assert membudget.chunk_edges(budget=6400, entry_bytes=64) == 100
+        assert membudget.chunk_edges(budget=1, entry_bytes=64) == 1
+
+
+class TestAccounting:
+    def test_peak_and_calls(self):
+        membudget.note("site.a", 100)
+        membudget.note("site.a", 700)
+        membudget.note("site.a", 300)
+        membudget.note("site.b", 50)
+        acc = membudget.accounting()
+        assert acc["site.a"] == {"peak_bytes": 700, "calls": 3}
+        assert acc["site.b"] == {"peak_bytes": 50, "calls": 1}
+
+    def test_reset(self):
+        membudget.note("site.a", 1)
+        membudget.reset_accounting()
+        assert membudget.accounting() == {}
+
+    def test_snapshot_is_a_copy(self):
+        membudget.note("site.a", 1)
+        acc = membudget.accounting()
+        acc["site.a"]["peak_bytes"] = 999
+        assert membudget.accounting()["site.a"]["peak_bytes"] == 1
+
+
+class TestIterSsspChunkBoundaries:
+    """Satellite: boundary cases of the budget-autotuned chunked solver."""
+
+    def test_chunk_larger_than_source_set(self, monkeypatch):
+        # A huge budget makes the chunk dwarf the source set: one block.
+        g = erdos_renyi(50, 0.2, weights="uniform", rng=0)
+        monkeypatch.setenv(membudget.ENV_VAR, "1G")
+        blocks = list(dmod.iter_sssp_chunks(g, np.arange(5)))
+        assert len(blocks) == 1
+        lo, rows = blocks[0]
+        assert lo == 0 and rows.shape == (5, g.n)
+        assert np.array_equal(rows, batched_sssp(g, np.arange(5)))
+
+    def test_exactly_one_row_per_chunk_at_large_n(self, monkeypatch):
+        # Budget = 8 * n bytes: one float64 row of the (rows, n) block per
+        # chunk — the degenerate floor a 10^6-vertex graph hits on a
+        # starved budget, at a testable n.
+        g = erdos_renyi(400, 0.02, weights="uniform", rng=1)
+        sources = np.array([7, 0, 399, 20])
+        expect = batched_sssp(g, sources)
+        monkeypatch.setenv(membudget.ENV_VAR, str(8 * g.n))
+        blocks = list(dmod.iter_sssp_chunks(g, sources))
+        assert [lo for lo, _ in blocks] == [0, 1, 2, 3]
+        assert all(rows.shape == (1, g.n) for _, rows in blocks)
+        assert np.array_equal(np.vstack([r for _, r in blocks]), expect)
+
+    def test_empty_source_list(self):
+        g = erdos_renyi(30, 0.2, weights="uniform", rng=2)
+        assert list(dmod.iter_sssp_chunks(g, np.zeros(0, dtype=np.int64))) == []
+        rows = batched_sssp(g, np.zeros(0, dtype=np.int64))
+        assert rows.shape == (0, g.n)
+
+    def test_budget_chunks_noted_in_ledger(self, monkeypatch):
+        g = erdos_renyi(60, 0.2, weights="uniform", rng=3)
+        monkeypatch.setenv(membudget.ENV_VAR, str(8 * g.n))
+        batched_sssp(g, np.arange(4))
+        acc = membudget.accounting()
+        site = "graphs.distances.iter_sssp_chunks"
+        assert acc[site]["calls"] == 4  # one per single-row block
+        assert acc[site]["peak_bytes"] == 8 * g.n
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 50),
+        chunk_entries=st.integers(1, 5000),
+        num_sources=st.integers(0, 12),
+    )
+    def test_bit_identity_across_chunk_sizes(
+        self, seed, chunk_entries, num_sources
+    ):
+        """Chunk size moves batching granularity, never values."""
+        g = erdos_renyi(40, 0.15, weights="uniform", rng=seed)
+        rng = np.random.default_rng(seed)
+        sources = rng.integers(0, g.n, size=num_sources)
+        expect = batched_sssp(g, sources)  # autotuned (single block at n=40)
+        saved = dmod._CHUNK_ENTRIES
+        try:
+            dmod._CHUNK_ENTRIES = chunk_entries
+            got = dmod.batched_sssp(g, sources)
+        finally:
+            dmod._CHUNK_ENTRIES = saved
+        assert np.array_equal(got, expect)
+
+
+class TestAllPairsDenseGuard:
+    """Satellite: the oracle's O(n^2) matrix is budget-guarded."""
+
+    def _oracle(self, n=48, seed=7):
+        from repro.distances import SpannerDistanceOracle
+
+        g = erdos_renyi(n, 0.2, weights="uniform", rng=seed)
+        return SpannerDistanceOracle(g, 3, 2, rng=seed)
+
+    def test_raises_above_budget(self, monkeypatch):
+        o = self._oracle()
+        monkeypatch.setenv(membudget.ENV_VAR, str(8 * o.g.n * o.g.n - 1))
+        with pytest.raises(MemoryError, match="allow_dense"):
+            o.all_pairs()
+
+    def test_allow_dense_overrides(self, monkeypatch):
+        o = self._oracle()
+        monkeypatch.setenv(membudget.ENV_VAR, "1k")
+        d = o.all_pairs(allow_dense=True)
+        assert d.shape == (o.g.n, o.g.n)
+
+    def test_within_budget_unchanged(self, monkeypatch):
+        o = self._oracle()
+        monkeypatch.setenv(membudget.ENV_VAR, "1G")
+        d = o.all_pairs()
+        assert np.all(np.diag(d) == 0.0)
+        pairs = np.array([[0, 5], [3, 40], [17, 2]])
+        assert np.array_equal(d[pairs[:, 0], pairs[:, 1]], o.query_many(pairs))
+
+    def test_forced_dense_matches_guarded(self, monkeypatch):
+        o = self._oracle()
+        monkeypatch.setenv(membudget.ENV_VAR, "1G")
+        within = o.all_pairs()
+        monkeypatch.setenv(membudget.ENV_VAR, "1k")
+        assert np.array_equal(o.all_pairs(allow_dense=True), within)
+
+    def test_error_names_knobs(self, monkeypatch):
+        o = self._oracle()
+        monkeypatch.setenv(membudget.ENV_VAR, "1k")
+        with pytest.raises(MemoryError) as exc:
+            o.all_pairs()
+        msg = str(exc.value)
+        assert membudget.ENV_VAR in msg and "query_many" in msg
+
+
+class TestEdgeStreamBudgetDefault:
+    """Satellite: EdgeStream's default chunk resolves through the budget."""
+
+    def _graph(self):
+        return erdos_renyi(60, 0.2, weights="uniform", rng=4)
+
+    def test_default_chunk_from_budget(self, monkeypatch):
+        from repro.streaming.stream import _EDGE_BYTES, EdgeStream
+
+        monkeypatch.setenv(membudget.ENV_VAR, str(37 * _EDGE_BYTES))
+        s = EdgeStream(self._graph())
+        assert s.chunk == 37
+
+    def test_explicit_chunk_untouched(self, monkeypatch):
+        from repro.streaming.stream import EdgeStream
+
+        monkeypatch.setenv(membudget.ENV_VAR, "1k")
+        assert EdgeStream(self._graph(), chunk=123).chunk == 123
+
+    def test_passes_chunked_identical_any_budget(self, monkeypatch):
+        from repro.streaming.stream import _EDGE_BYTES, EdgeStream
+
+        g = self._graph()
+        explicit = [
+            tuple(a.copy() for a in chunk)
+            for chunk in EdgeStream(g, chunk=7).passes_chunked()
+        ]
+        monkeypatch.setenv(membudget.ENV_VAR, str(7 * _EDGE_BYTES))
+        budgeted = list(EdgeStream(g).passes_chunked())
+        assert len(explicit) == len(budgeted)
+        for c_exp, c_got in zip(explicit, budgeted):
+            for a_exp, a_got in zip(c_exp, c_got):
+                assert np.array_equal(a_exp, a_got)
+
+    def test_passes_note_site(self):
+        from repro.streaming.stream import EdgeStream
+
+        for _chunk in EdgeStream(self._graph(), chunk=8).passes_chunked():
+            pass
+        assert "streaming.EdgeStream.passes_chunked" in membudget.accounting()
+
+
+class TestEngineStatsSurface:
+    def test_stats_exposes_budget_and_sites(self):
+        from repro.service import QueryEngine
+
+        g = erdos_renyi(40, 0.2, weights="uniform", rng=5)
+        engine = QueryEngine(g)
+        engine.query_many(np.array([[0, 1], [2, 3]]))
+        stats = engine.stats()["membudget"]
+        assert stats["budget_bytes"] == membudget.resolve_budget()
+        assert "graphs.distances.iter_sssp_chunks" in stats["sites"]
