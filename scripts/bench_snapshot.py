@@ -331,9 +331,38 @@ def _trajectory_diff(name: str, old: dict | None, new: dict) -> list[str]:
     return lines
 
 
+def _lint_gate() -> int:
+    """Refuse to snapshot from a tree that fails ``repro lint``.
+
+    A committed BENCH_*.json is a perf claim about the tree it was built
+    from; building one on top of an invariant violation (e.g. a memmap
+    materialization that changes the memory numbers) would bake the bug
+    into the baseline future PRs defend.
+    """
+    from repro.analysis import lint_paths
+
+    findings = lint_paths([os.path.join(REPO_ROOT, "src")])
+    for finding in findings:
+        print(finding.format(), file=sys.stderr)
+    if findings:
+        print(
+            f"bench_snapshot: refusing to snapshot — {len(findings)} lint "
+            "finding(s); fix them (or rerun with --skip-lint to diagnose)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--smoke", action="store_true", help="tiny-n smoke run")
+    ap.add_argument(
+        "--skip-lint",
+        action="store_true",
+        help="skip the repro-lint precondition (diagnosis only; committed "
+        "snapshots must come from a lint-clean tree)",
+    )
     ap.add_argument(
         "--suite",
         choices=[*SUITES, "all", "full"],
@@ -352,6 +381,8 @@ def main() -> int:
     names = list(SUITES) if args.suite in ("all", "full") else [args.suite]
     if args.out and len(names) > 1:
         ap.error("--out requires a single --suite")
+    if not args.skip_lint and _lint_gate():
+        return 1
     rc = 0
     diffs: list[str] = []
     for name in names:

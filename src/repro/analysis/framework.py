@@ -1,0 +1,308 @@
+"""The checker framework behind ``repro lint``.
+
+This is a *repo-specific* static analyzer, not a style linter: every rule
+in :mod:`repro.analysis.rules` encodes a correctness invariant this
+codebase installed to fix a real bug (zero-copy memmap discipline, the
+``coerce_rng`` seeding idiom, int64 widening of key arithmetic, ...), and
+the linter makes those invariants machine-enforced instead of reviewer
+folklore.
+
+Pieces:
+
+* :class:`Finding` — one violation: rule id, path, line/col, message and
+  a remediation hint.  ``repro lint --json`` serializes these verbatim.
+* :class:`Rule` — base class.  Subclasses declare ``id``/``description``/
+  ``hint``, optional path scoping (``include``/``exclude`` fnmatch
+  patterns over the module path *inside* the ``repro`` package, e.g.
+  ``service/*`` or ``cli.py``), and either ``visit_<NodeType>`` methods
+  (dispatched over one :func:`ast.walk` of the file) or a custom
+  :meth:`Rule.check` for whole-file analyses.  Visitors yield
+  ``(node, message)`` pairs; the framework attaches locations, hints and
+  suppression filtering.
+* Inline suppressions — a ``# repro: allow(rule-id)`` comment anywhere
+  within a flagged node's line span silences that rule for that node
+  (``allow(a, b)`` lists several ids).  Suppressions are deliberate,
+  visible escape hatches; the zero-violation baseline stays meaningful
+  because every one is grep-able.
+* :func:`lint_paths` — the runner: walk ``.py`` files, parse once, apply
+  every applicable rule, return sorted deduplicated findings.
+
+:func:`check_source` lints an in-memory snippet under a caller-chosen
+virtual path, which is how the per-rule fixture tests exercise path
+scoping without touching the real tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "FileContext",
+    "check_source",
+    "lint_paths",
+    "iter_python_files",
+    "module_relpath",
+]
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+def module_relpath(path) -> str:
+    """Path of a file *inside* the ``repro`` package, POSIX-separated.
+
+    ``src/repro/service/server.py`` -> ``service/server.py``; files outside
+    any ``repro`` directory fall back to their bare filename.  Rule scoping
+    patterns match against this, so the linter behaves identically whether
+    invoked on ``src/``, ``src/repro/`` or a single file.
+    """
+    parts = Path(path).parts
+    if "repro" in parts:
+        i = len(parts) - 1 - parts[::-1].index("repro")
+        rel = parts[i + 1 :]
+        if rel:
+            return "/".join(rel)
+    return Path(path).name
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids allowed by ``# repro: allow(...)``."""
+    allowed: dict[int, set[str]] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _ALLOW_RE.search(tok.string)
+            if m:
+                ids = {t.strip() for t in m.group(1).split(",") if t.strip()}
+                allowed.setdefault(tok.start[0], set()).update(ids)
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        pass
+    return allowed
+
+
+class FileContext:
+    """Everything a rule may need about one parsed file."""
+
+    def __init__(self, path: str, rel: str, source: str, tree: ast.Module):
+        self.path = str(path)  # as given on the command line (clickable)
+        self.rel = rel  # package-relative, what scoping matches
+        self.source = source
+        self.tree = tree
+        self.suppressions = parse_suppressions(source)
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    def parent_map(self) -> dict[ast.AST, ast.AST]:
+        if self._parents is None:
+            self._parents = {
+                child: parent
+                for parent in ast.walk(self.tree)
+                for child in ast.iter_child_nodes(parent)
+            }
+        return self._parents
+
+    def enclosing_function(self, node: ast.AST):
+        """Innermost (async) function def containing ``node``, or None."""
+        parents = self.parent_map()
+        cur = parents.get(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cur
+            cur = parents.get(cur)
+        return None
+
+    def suppressed(self, rule_id: str, node: ast.AST | None) -> bool:
+        if node is None or not self.suppressions:
+            return False
+        start = getattr(node, "lineno", None)
+        if start is None:
+            return False
+        end = getattr(node, "end_lineno", start) or start
+        return any(
+            rule_id in self.suppressions.get(line, ())
+            for line in range(start, end + 1)
+        )
+
+
+class Rule:
+    """Base class for one invariant checker.
+
+    Subclasses set ``id`` (the ``repro: allow(...)`` / ``--rule`` handle),
+    ``description`` (one line for ``--list-rules`` and the README table),
+    ``hint`` (the remediation attached to every finding), and optionally
+    ``include``/``exclude`` fnmatch patterns over the package-relative
+    path.  The default :meth:`check` dispatches ``visit_<NodeType>``
+    methods over one AST walk; override it for whole-file analyses.
+    Visitors yield ``(node, message)`` or ``(node, message, hint)``.
+    """
+
+    id: str = ""
+    description: str = ""
+    hint: str = ""
+    include: tuple[str, ...] = ("*",)
+    exclude: tuple[str, ...] = ()
+
+    def applies_to(self, rel: str) -> bool:
+        return any(fnmatch(rel, pat) for pat in self.include) and not any(
+            fnmatch(rel, pat) for pat in self.exclude
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[tuple]:
+        for node in ast.walk(ctx.tree):
+            visitor = getattr(self, "visit_" + type(node).__name__, None)
+            if visitor is not None:
+                yield from visitor(node, ctx)
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        for item in self.check(ctx):
+            node, message = item[0], item[1]
+            hint = item[2] if len(item) > 2 else self.hint
+            if ctx.suppressed(self.id, node):
+                continue
+            yield Finding(
+                rule=self.id,
+                path=ctx.path,
+                line=getattr(node, "lineno", 1) if node is not None else 1,
+                col=getattr(node, "col_offset", 0) if node is not None else 0,
+                message=message,
+                hint=hint,
+            )
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for Name/Attribute chains, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` (files pass through), sorted,
+    skipping hidden directories and ``__pycache__``."""
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file():
+            if p.suffix == ".py":
+                yield p
+            continue
+        if not p.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for f in sorted(p.rglob("*.py")):
+            if any(
+                part.startswith(".") or part == "__pycache__" for part in f.parts
+            ):
+                continue
+            yield f
+
+
+def check_source(
+    source: str,
+    rules: Iterable[Rule],
+    *,
+    rel: str = "module.py",
+    path: str | None = None,
+) -> list[Finding]:
+    """Lint an in-memory snippet as if it lived at package path ``rel``."""
+    tree = ast.parse(source)
+    ctx = FileContext(path or rel, rel, source, tree)
+    findings: list[Finding] = []
+    for rule in rules:
+        if rule.applies_to(rel):
+            findings.extend(rule.run(ctx))
+    return _finalize(findings)
+
+
+def lint_paths(
+    paths: Iterable[str],
+    rules: Iterable[Rule] | None = None,
+    *,
+    rule_ids: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run rules over every ``.py`` file under ``paths``; sorted findings.
+
+    Unparseable files surface as ``syntax-error`` findings rather than
+    crashing the run — a broken file must fail the lint gate, not hide
+    from it.
+    """
+    if rules is None:
+        from .rules import all_rules
+
+        rules = all_rules()
+    rules = list(rules)
+    if rule_ids is not None:
+        wanted = set(rule_ids)
+        known = {r.id for r in rules}
+        missing = wanted - known
+        if missing:
+            raise KeyError(
+                f"unknown rule id(s): {', '.join(sorted(missing))} "
+                f"(have: {', '.join(sorted(known))})"
+            )
+        rules = [r for r in rules if r.id in wanted]
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        source = file.read_text()
+        try:
+            tree = ast.parse(source, filename=str(file))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule="syntax-error",
+                    path=str(file),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"cannot parse: {exc.msg}",
+                    hint="fix the syntax error; the linter needs a valid AST",
+                )
+            )
+            continue
+        ctx = FileContext(str(file), module_relpath(file), source, tree)
+        for rule in rules:
+            if rule.applies_to(ctx.rel):
+                findings.extend(rule.run(ctx))
+    return _finalize(findings)
+
+
+def _finalize(findings: list[Finding]) -> list[Finding]:
+    """Dedupe (nested AST walks can revisit a node) and sort for stable,
+    diffable output."""
+    unique = {(f.rule, f.path, f.line, f.col, f.message): f for f in findings}
+    return sorted(unique.values(), key=lambda f: (f.path, f.line, f.col, f.rule))

@@ -15,6 +15,11 @@ Commands
     simulated cluster accounting.
 ``list``
     Show every registered algorithm and graph-spec family.
+``lint``
+    Run the repo-invariant static analysis checks (:mod:`repro.analysis`)
+    over source trees: ``repro lint src/ --strict`` exits nonzero on any
+    finding, ``--json`` emits machine-readable findings, ``--rule ID``
+    restricts to one rule, ``--list-rules`` prints the rule table.
 ``sweep``
     Execute an :class:`~repro.runner.plan.ExperimentPlan` (JSON file) on a
     process pool, with content-hash resume and JSON/CSV artifacts.
@@ -253,7 +258,7 @@ def _cmd_list(args) -> int:
                 for _, f in sorted(GRAPH_FAMILIES.items())
             ],
         }
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(_json_safe(payload), indent=2))
         return 0
 
     print("algorithms:")
@@ -315,15 +320,17 @@ def _cmd_sweep(args) -> int:
     if args.json:
         print(
             json.dumps(
-                {
-                    "plan": plan.name,
-                    "trials": result.total,
-                    "executed": result.executed,
-                    "skipped": result.skipped,
-                    "errors": errors,
-                    "wall_seconds": round(result.wall_seconds, 3),
-                    "out_dir": result.out_dir,
-                },
+                _json_safe(
+                    {
+                        "plan": plan.name,
+                        "trials": result.total,
+                        "executed": result.executed,
+                        "skipped": result.skipped,
+                        "errors": errors,
+                        "wall_seconds": round(result.wall_seconds, 3),
+                        "out_dir": result.out_dir,
+                    }
+                ),
                 indent=2,
             )
         )
@@ -768,13 +775,13 @@ def _cmd_bench(args) -> int:
         parent = os.path.dirname(os.path.abspath(args.out))
         os.makedirs(parent, exist_ok=True)
         with open(args.out, "w") as fh:
-            json.dump(record, fh, indent=2, sort_keys=True)
+            json.dump(_json_safe(record), fh, indent=2, sort_keys=True)
             fh.write("\n")
 
     if args.json:
         print(
             json.dumps(
-                {"record": record, "gates_ok": gate_ok, "gates": gate_lines},
+                _json_safe({"record": record, "gates_ok": gate_ok, "gates": gate_lines}),
                 indent=2,
                 sort_keys=True,
             )
@@ -786,6 +793,35 @@ def _cmd_bench(args) -> int:
         if args.out:
             print(f"wrote {args.out}")
     return 0 if gate_ok else 1
+
+
+def _cmd_lint(args) -> int:
+    from .analysis import all_rules, lint_paths
+
+    rules = all_rules()
+    if args.list_rules:
+        width = max(len(r.id) for r in rules)
+        for rule in rules:
+            print(f"{rule.id:<{width}}  {rule.description}")
+        return 0
+
+    try:
+        findings = lint_paths(args.paths, rule_ids=args.rule or None)
+    except KeyError as exc:
+        raise SystemExit(f"lint: {exc.args[0]}")
+    except FileNotFoundError as exc:
+        raise SystemExit(f"lint: {exc}")
+
+    if args.json:
+        print(json.dumps(_json_safe([f.to_json() for f in findings]), indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+            if finding.hint:
+                print(f"    hint: {finding.hint}")
+        n = len(findings)
+        print(f"lint: {n} finding{'s' if n != 1 else ''}" if n else "lint: clean")
+    return 1 if findings and args.strict else 0
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -834,6 +870,41 @@ def make_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("list", help="show registered algorithms + graph families")
     sp.add_argument("--json", action="store_true", help="machine-readable output")
     sp.set_defaults(fn=_cmd_list)
+
+    sp = sub.add_parser(
+        "lint",
+        help="run the repo-invariant static analysis checks",
+        description=(
+            "AST-based checks for repo-specific correctness invariants "
+            "(memmap copy discipline, rng seeding, int64 index widening, "
+            "shared-memory lifecycles, async blocking calls, JSON safety, "
+            "frozen reference baselines).  See repro.analysis."
+        ),
+    )
+    sp.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    sp.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when any finding is reported",
+    )
+    sp.add_argument("--json", action="store_true", help="emit findings as JSON")
+    sp.add_argument(
+        "--rule",
+        action="append",
+        metavar="ID",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    sp.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    sp.set_defaults(fn=_cmd_lint)
 
     sp = sub.add_parser("sweep", help="run an experiment plan (JSON) in parallel")
     sp.add_argument("--plan", required=True, help="path to an ExperimentPlan JSON file")

@@ -269,13 +269,13 @@ def _batched_capped_bfs_block(g: WeightedGraph, src: np.ndarray, hops: int, cap:
     csr = g.csr
     seen = np.zeros(s * n, dtype=bool)  # flat (slot, vertex) bitmap
     slots = np.arange(s, dtype=np.int64)
-    seen[slots * n + src] = True
+    seen[slots * np.int64(n) + src] = True
     counts = np.ones(s, dtype=np.int64)  # ball sizes so far (the source)
     capped = np.zeros(s, dtype=bool)
 
     # Flat ball entries, accumulated level by level.
     p_slot = [slots]
-    p_vtx = [src.astype(np.int64)]
+    p_vtx = [src.astype(np.int64, copy=False)]
     p_edge = [np.full(s, -1, dtype=np.int64)]
     p_ppos = [np.zeros(s, dtype=np.int64)]  # local position of the parent
     p_lpos = [np.zeros(s, dtype=np.int64)]  # local position of the entry
@@ -294,13 +294,13 @@ def _batched_capped_bfs_block(g: WeightedGraph, src: np.ndarray, hops: int, cap:
             reps = np.repeat(slots, take_n)
             within = np.arange(total) - np.repeat(np.cumsum(take_n) - take_n, take_n)
             flatpos = csr.indptr[src][reps] + within
-            new_v = csr.indices[flatpos].astype(np.int64)
+            new_v = csr.indices[flatpos].astype(np.int64, copy=False)
             new_lpos = within + 1  # after the source at local position 0
-            seen[reps * n + new_v] = True
+            seen[reps * np.int64(n) + new_v] = True
             counts += take_n
             p_slot.append(reps)
             p_vtx.append(new_v)
-            p_edge.append(csr.edge_ids[flatpos].astype(np.int64))
+            p_edge.append(csr.edge_ids[flatpos].astype(np.int64, copy=False))
             p_ppos.append(np.zeros(total, dtype=np.int64))
             p_lpos.append(new_lpos)
             carry = ~capped[reps]
@@ -339,7 +339,7 @@ def _batched_capped_bfs_block(g: WeightedGraph, src: np.ndarray, hops: int, cap:
             cand_e = csr.edge_ids[flat]
             cand_slot = sub_slot[rep]
             cand_ppos = sub_ppos[rep]
-            unseen = ~seen[cand_slot * n + cand_v]
+            unseen = ~seen[cand_slot * np.int64(n) + cand_v]
             if not unseen.any():
                 continue
             cand_v, cand_e, cand_slot, cand_ppos = (
@@ -378,7 +378,7 @@ def _batched_capped_bfs_block(g: WeightedGraph, src: np.ndarray, hops: int, cap:
                 new_v[take], new_e[take], new_slot[take], new_ppos[take], rank[take],
             )
             new_lpos = counts[new_slot] + rank
-            seen[new_slot * n + new_v] = True
+            seen[new_slot * np.int64(n) + new_v] = True
             counts += np.bincount(new_slot, minlength=s)
 
             p_slot.append(new_slot)
@@ -477,7 +477,7 @@ def connected_components(g: WeightedGraph) -> np.ndarray:
     if g.m == 0:
         return np.arange(g.n, dtype=np.int64)
     _, labels = csgraph.connected_components(g.to_scipy(), directed=False)
-    return labels.astype(np.int64)
+    return labels.astype(np.int64, copy=False)
 
 
 def same_components(a: WeightedGraph, b: WeightedGraph) -> bool:

@@ -226,7 +226,12 @@ class WeightedGraph:
             z = np.zeros(0, dtype=np.int64)
             return cls(n, z, z, np.zeros(0))
         arr = np.asarray(edges, dtype=np.float64)
-        return cls(n, arr[:, 0].astype(np.int64), arr[:, 1].astype(np.int64), arr[:, 2])
+        return cls(
+            n,
+            arr[:, 0].astype(np.int64, copy=False),
+            arr[:, 1].astype(np.int64, copy=False),
+            arr[:, 2],
+        )
 
     @classmethod
     def from_unweighted_edges(

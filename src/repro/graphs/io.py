@@ -238,8 +238,8 @@ def read_edgelist_streaming(
                     f"{path}: inconsistent column count "
                     f"({block.shape[1]} after {ncols})"
                 )
-            u = block[:, 0].astype(np.int64)
-            v = block[:, 1].astype(np.int64)
+            u = block[:, 0].astype(np.int64, copy=False)
+            v = block[:, 1].astype(np.int64, copy=False)
             if not (np.array_equal(u, block[:, 0]) and np.array_equal(v, block[:, 1])):
                 raise ValueError(f"{path}: non-integer endpoint in chunk {chunks}")
             if u.size and (u.min() < 0 or v.min() < 0):

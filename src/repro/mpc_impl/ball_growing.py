@@ -173,7 +173,7 @@ def grow_balls_mpc(
     deg = np.diff(csr.indptr)
     owner = np.concatenate([np.repeat(np.arange(n, dtype=np.int64), deg),
                             np.arange(n, dtype=np.int64)])
-    vtx = np.concatenate([csr.indices.astype(np.int64),
+    vtx = np.concatenate([csr.indices.astype(np.int64, copy=False),
                           np.arange(n, dtype=np.int64)])
     order = np.lexsort((vtx, owner))
     owner, vtx = owner[order], vtx[order]

@@ -105,7 +105,7 @@ def _downcast_index(arr: np.ndarray) -> np.ndarray:
     info = np.iinfo(np.int32)
     if int(arr.min()) < info.min or int(arr.max()) > info.max:
         return arr
-    return arr.astype(np.int32)
+    return arr.astype(np.int32, copy=False)
 
 
 def _as_index(arr) -> np.ndarray:

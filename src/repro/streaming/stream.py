@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core import membudget
+from ..core.params import coerce_rng
 from ..graphs.graph import WeightedGraph
 
 __all__ = ["EdgeStream", "StreamStats"]
@@ -73,7 +74,7 @@ class EdgeStream:
             raise ValueError("chunk must be positive")
         self.g = g
         self.chunk = chunk
-        rng = np.random.default_rng(order_seed)
+        rng = coerce_rng(order_seed)
         self._order = rng.permutation(g.m)
         self.stats = StreamStats()
 

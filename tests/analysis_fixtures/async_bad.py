@@ -1,0 +1,8 @@
+"""Violates async-blocking: sleep + direct engine solve on the loop."""
+
+import time
+
+
+async def handle(engine, pairs):
+    time.sleep(0.05)
+    return engine.query_many(pairs)

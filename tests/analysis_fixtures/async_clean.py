@@ -1,0 +1,10 @@
+"""Clean twin of async_bad: async sleep, solve via the executor."""
+
+import asyncio
+from functools import partial
+
+
+async def handle(engine, pairs):
+    await asyncio.sleep(0.05)
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, partial(engine.query_many, pairs))

@@ -1,0 +1,8 @@
+"""Violates frozen-reference: a *_reference baseline with no pinned hash."""
+
+
+def toy_sum_reference(xs):
+    total = 0
+    for x in xs:
+        total = total + x
+    return total

@@ -1,0 +1,5 @@
+"""Clean twin of frozen_bad: not a frozen baseline, nothing to pin."""
+
+
+def toy_sum(xs):
+    return sum(xs)

@@ -1,0 +1,8 @@
+"""Violates int32-widening: slot*n+vertex key indexing with no int64."""
+
+import numpy as np
+
+
+def mark_seen(seen, slots, n, src):
+    seen[slots * n + src] = True
+    return np.flatnonzero(seen)

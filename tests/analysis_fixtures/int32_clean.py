@@ -1,0 +1,8 @@
+"""Clean twin of int32_bad: the multiplier carries an explicit int64."""
+
+import numpy as np
+
+
+def mark_seen(seen, slots, n, src):
+    seen[slots * np.int64(n) + src] = True
+    return np.flatnonzero(seen)

@@ -1,0 +1,7 @@
+"""Violates json-safety: CLI payload dumped without _json_safe."""
+
+import json
+
+
+def emit(payload):
+    print(json.dumps(payload, indent=2))

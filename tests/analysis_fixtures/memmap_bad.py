@@ -1,0 +1,7 @@
+"""Violates memmap-copy: astype() without copy= on a memmap-visible path."""
+
+import numpy as np
+
+
+def normalize(arr):
+    return arr.astype(np.int64)

@@ -1,0 +1,7 @@
+"""Clean twin of memmap_bad: the copy decision is explicit."""
+
+import numpy as np
+
+
+def normalize(arr):
+    return arr.astype(np.int64, copy=False)

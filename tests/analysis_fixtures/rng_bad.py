@@ -1,0 +1,8 @@
+"""Violates rng-discipline: bare default_rng bypasses coerce_rng."""
+
+import numpy as np
+
+
+def shuffled(order_seed):
+    rng = np.random.default_rng(order_seed)
+    return rng.permutation(8)

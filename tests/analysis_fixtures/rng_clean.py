@@ -1,0 +1,8 @@
+"""Clean twin of rng_bad: the seed routes through coerce_rng."""
+
+from repro.core.params import coerce_rng
+
+
+def shuffled(order_seed):
+    rng = coerce_rng(order_seed)
+    return rng.permutation(8)

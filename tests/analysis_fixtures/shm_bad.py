@@ -1,0 +1,9 @@
+"""Violates shm-lifecycle: segment created with no cleanup path."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def stage(nbytes):
+    shm = SharedMemory(create=True, size=nbytes)
+    shm.buf[:nbytes] = bytes(nbytes)
+    return shm.name

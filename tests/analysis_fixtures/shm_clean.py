@@ -1,0 +1,13 @@
+"""Clean twin of shm_bad: close/unlink paired in a finally block."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def stage(nbytes):
+    shm = SharedMemory(create=True, size=nbytes)
+    try:
+        shm.buf[:nbytes] = bytes(nbytes)
+        return shm.name
+    finally:
+        shm.close()
+        shm.unlink()
